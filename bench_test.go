@@ -1,0 +1,266 @@
+package indep
+
+// One benchmark per experiment in DESIGN.md's index. The paper has no
+// numeric tables (it is a theory paper); these benchmarks regenerate the
+// executable artifacts: the worked examples, the decision procedure's
+// polynomial scaling, the maintenance fast path vs the chase, the
+// Theorem 1 reduction, and the acyclic-schema machinery. The table-form
+// outputs live in cmd/indepbench; EXPERIMENTS.md records both.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"indep/internal/acyclic"
+	"indep/internal/attrset"
+	"indep/internal/chase"
+	"indep/internal/fd"
+	"indep/internal/independence"
+	"indep/internal/infer"
+	"indep/internal/maintenance"
+	"indep/internal/relation"
+	"indep/internal/schema"
+	"indep/internal/workload"
+)
+
+// --- E1/E2/E3: the paper's worked examples -------------------------------
+
+func BenchmarkExample1Decide(b *testing.B) {
+	s, fds := workload.Example1()
+	for i := 0; i < b.N; i++ {
+		if res, err := independence.Decide(s, fds); err != nil || res.Independent {
+			b.Fatal("Example 1 must reject")
+		}
+	}
+}
+
+func BenchmarkExample1Chase(b *testing.B) {
+	st, fds := workload.Example1State()
+	for i := 0; i < b.N; i++ {
+		ok, err := chase.Satisfies(st, fds, true, chase.DefaultCaps)
+		if err != nil || ok {
+			b.Fatal("Example 1 state must not satisfy")
+		}
+	}
+}
+
+func BenchmarkExample2Decide(b *testing.B) {
+	s, fds := workload.Example2()
+	for i := 0; i < b.N; i++ {
+		if res, err := independence.Decide(s, fds); err != nil || !res.Independent {
+			b.Fatal("Example 2 must accept")
+		}
+	}
+}
+
+func BenchmarkExample3Decide(b *testing.B) {
+	s, fds := workload.Example3()
+	for i := 0; i < b.N; i++ {
+		if res, err := independence.Decide(s, fds); err != nil || res.Independent {
+			b.Fatal("Example 3 must reject")
+		}
+	}
+}
+
+// --- T2/P1: polynomial scaling of the decision procedure ------------------
+
+func chainWithKeys(n int) (*schema.Schema, fd.List) {
+	u := attrset.NewUniverse()
+	for i := 0; i < n; i++ {
+		u.Add(fmt.Sprintf("A%d", i))
+	}
+	var rels []schema.Rel
+	var fds fd.List
+	for i := 0; i+1 < n; i++ {
+		rels = append(rels, schema.Rel{Name: fmt.Sprintf("R%d", i), Attrs: attrset.Of(i, i+1)})
+		fds = append(fds, fd.FD{LHS: attrset.Of(i), RHS: attrset.Of(i + 1)})
+	}
+	return schema.New(u, rels...), fds
+}
+
+func BenchmarkAnalyzeScaling(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		s, fds := chainWithKeys(n)
+		b.Run(fmt.Sprintf("attrs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res, err := independence.Decide(s, fds); err != nil || !res.Independent {
+					b.Fatal("chain must be independent")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCoverEmbedding(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		s, fds := chainWithKeys(n)
+		b.Run(fmt.Sprintf("attrs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok, _ := infer.ExtractCover(s, fds); !ok {
+					b.Fatal("chain embeds its cover")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClosureJD(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		s, fds := chainWithKeys(n)
+		x := attrset.Of(0)
+		b.Run(fmt.Sprintf("attrs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := infer.Closure(s, fds, x); got.Len() != n {
+					b.Fatal("closure of A0 must be the whole chain")
+				}
+			}
+		})
+	}
+}
+
+// --- M1: maintenance fast path vs chase -----------------------------------
+
+func BenchmarkGuardInsert(b *testing.B) {
+	s, fds := workload.Example2()
+	res, _ := independence.Decide(s, fds)
+	g := maintenance.NewGuard(s, res.Cover)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := relation.Value(i)
+		if err := g.Insert(0, relation.Tuple{c, c + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChaseMaintainerInsert(b *testing.B) {
+	for _, base := range []int{32, 256} {
+		b.Run(fmt.Sprintf("state=%d", base), func(b *testing.B) {
+			s, fds := workload.Example2()
+			m := maintenance.NewChaseMaintainer(s, fds, false, chase.DefaultCaps)
+			for i := 0; i < base; i++ {
+				c := relation.Value(i)
+				if err := m.Insert(0, relation.Tuple{c, c + 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := relation.Value(base + i)
+				if err := m.Insert(0, relation.Tuple{c, c + 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T1: the Theorem 1 reduction -------------------------------------------
+
+func BenchmarkMaintenanceReduction(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for _, k := range []int{3, 5} {
+		u := attrset.NewUniverse()
+		for i := 0; i <= k; i++ {
+			u.Add(fmt.Sprintf("X%d", i))
+		}
+		inst := relation.NewInstance(u.All())
+		for i := 0; i < 3*k; i++ {
+			t := make(relation.Tuple, k+1)
+			for c := range t {
+				t[c] = relation.Value(r.Intn(3))
+			}
+			inst.Add(t)
+		}
+		var schemes []attrset.Set
+		for i := 0; i < k; i++ {
+			schemes = append(schemes, attrset.Of(i, i+1))
+		}
+		x := attrset.Of(0, k)
+		tu := relation.Tuple{0, 1}
+		red, err := maintenance.BuildReduction(u, inst, schemes, x, tu)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p2 := red.P.Clone()
+				p2.Insts[red.Last].Add(red.Inserted)
+				if _, err := chase.Satisfies(p2, red.FDs, true, chase.Caps{MaxRows: 500000, MaxIters: 50000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A1: acyclic machinery --------------------------------------------------
+
+func BenchmarkFullReduce(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(C,D); R4(D,E)")
+	st := relation.NewState(s)
+	for i := 0; i < 500; i++ {
+		for j := range s.Rels {
+			st.Insts[j].Add(relation.Tuple{relation.Value(r.Intn(300)), relation.Value(r.Intn(300))})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := acyclic.FullReduce(st); !ok {
+			b.Fatal("chain is acyclic")
+		}
+	}
+}
+
+func BenchmarkJoinConsistency(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(C,D); R4(D,E)")
+	st := relation.NewState(s)
+	for i := 0; i < 500; i++ {
+		for j := range s.Rels {
+			st.Insts[j].Add(relation.Tuple{relation.Value(r.Intn(300)), relation.Value(r.Intn(300))})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.JoinConsistent()
+	}
+}
+
+// --- T3: decision procedure on random instances ----------------------------
+
+func BenchmarkDecideRandom(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	type inst struct {
+		s   *schema.Schema
+		fds fd.List
+	}
+	var pool []inst
+	for i := 0; i < 64; i++ {
+		s, fds := workload.Schema(r, workload.Config{
+			Attrs: 8, Schemes: 4, SchemeMax: 4, FDs: 4, LHSMax: 2,
+		})
+		pool = append(pool, inst{s, fds})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := pool[i%len(pool)]
+		if _, err := independence.Decide(in.s, in.fds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Facade-level quickstart ------------------------------------------------
+
+func BenchmarkFacadeAnalyze(b *testing.B) {
+	s := MustParse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	for i := 0; i < b.N; i++ {
+		a, err := s.Analyze()
+		if err != nil || !a.Independent {
+			b.Fatal("Example 2 must be independent")
+		}
+	}
+}

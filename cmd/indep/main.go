@@ -1,0 +1,119 @@
+// Command indep analyzes database schemas for independence in the sense of
+// Graham and Yannakakis, "Independent Database Schemas" (PODS 1982).
+//
+// Usage:
+//
+//	indep analyze -schema 'CT(C,T); CS(C,S); CHR(C,H,R)' -fds 'C -> T; C H -> R'
+//	indep analyze -file design.txt
+//	indep closure -schema ... -fds ... -of 'C H'
+//	indep acyclic -schema ...
+//
+// The file format for -file has one declaration per line; lines starting
+// with '#' are comments:
+//
+//	schema: CT(C,T); CS(C,S); CHR(C,H,R)
+//	fds: C -> T; C H -> R
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"indep"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	schemaSrc := fs.String("schema", "", "schema declaration, e.g. 'R1(A,B); R2(B,C)'")
+	fdSrc := fs.String("fds", "", "functional dependencies, e.g. 'A -> B; B -> C'")
+	file := fs.String("file", "", "read schema/fds from a declaration file")
+	of := fs.String("of", "", "closure: attribute list, e.g. 'C H'")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *file != "" {
+		s, f, err := readFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		*schemaSrc, *fdSrc = s, f
+	}
+	if *schemaSrc == "" {
+		fatal(fmt.Errorf("missing -schema (or -file)"))
+	}
+	sch, err := indep.Parse(*schemaSrc, *fdSrc)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "analyze":
+		a, err := sch.Analyze()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(a.Summary())
+		if !a.Independent {
+			os.Exit(1)
+		}
+	case "closure":
+		attrs := strings.Fields(*of)
+		if len(attrs) == 0 {
+			fatal(fmt.Errorf("closure needs -of 'A B ...'"))
+		}
+		full, err := sch.Closure(attrs...)
+		if err != nil {
+			fatal(err)
+		}
+		emb, err := sch.EmbeddedClosure(attrs...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cl_Σ(%s)    = %s\n", strings.Join(attrs, " "), strings.Join(full, " "))
+		fmt.Printf("cl_G|D(%s)  = %s\n", strings.Join(attrs, " "), strings.Join(emb, " "))
+	case "acyclic":
+		fmt.Printf("acyclic: %v\n", sch.IsAcyclic())
+	default:
+		usage()
+	}
+}
+
+func readFile(path string) (schemaSrc, fdSrc string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "schema:"):
+			schemaSrc += strings.TrimPrefix(line, "schema:") + ";"
+		case strings.HasPrefix(line, "fds:"):
+			fdSrc += strings.TrimPrefix(line, "fds:") + ";"
+		default:
+			return "", "", fmt.Errorf("indep: cannot parse line %q", line)
+		}
+	}
+	return schemaSrc, fdSrc, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "indep:", err)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  indep analyze -schema '...' -fds '...'   decide independence, print witness
+  indep analyze -file design.txt
+  indep closure -schema '...' -fds '...' -of 'A B'
+  indep acyclic -schema '...'`)
+	os.Exit(2)
+}

@@ -1,0 +1,43 @@
+// Command indepbench regenerates the experiments recorded in
+// EXPERIMENTS.md: the paper's worked examples, the theorem validations
+// against the chase oracle, and the complexity measurements.
+//
+// Usage:
+//
+//	indepbench                 # run everything
+//	indepbench -exp E1,T3      # run selected experiments
+//	indepbench -seed 7 -scale 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"indep/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (E1,E2,E3,T1,T2,T3,C1,P1,A1,M1) or 'all'")
+	seed := flag.Int64("seed", 1982, "random seed")
+	scale := flag.Int("scale", 0, "work scale (0 = default)")
+	flag.Parse()
+
+	p := experiments.Params{Seed: *seed, Scale: *scale}
+	if *exp == "all" {
+		fmt.Print(experiments.RunAll(p))
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		run, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "indepbench: unknown experiment %q (known: %s)\n",
+				id, strings.Join(experiments.Order, ","))
+			os.Exit(2)
+		}
+		fmt.Print(run(p))
+		fmt.Println()
+	}
+}

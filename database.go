@@ -1,0 +1,147 @@
+package indep
+
+import (
+	"errors"
+	"fmt"
+
+	"indep/internal/attrset"
+	"indep/internal/chase"
+	"indep/internal/maintenance"
+	"indep/internal/relation"
+)
+
+// attrSetT is the attribute-set representation shared with the internal
+// packages.
+type attrSetT = attrset.Set
+
+// Database is a database state over a Schema, with named values.
+type Database struct {
+	schema *Schema
+	st     *relation.State
+}
+
+// NewDatabase creates an empty database state.
+func (s *Schema) NewDatabase() *Database {
+	return &Database{schema: s, st: relation.NewState(s.s)}
+}
+
+// Insert adds a row (attribute name → value name) to the named relation
+// without any consistency checking; use Satisfies/SatisfiesLocally to test,
+// or a Store for maintained inserts. All attributes of the relation scheme
+// must be present.
+func (db *Database) Insert(rel string, row map[string]string) error {
+	i := db.st.Schema.IndexOf(rel)
+	if i < 0 {
+		return fmt.Errorf("indep: unknown relation %q", rel)
+	}
+	attrs := db.st.Schema.Attrs(i).Attrs()
+	t := make(relation.Tuple, len(attrs))
+	for j, a := range attrs {
+		name := db.st.Schema.U.Name(a)
+		v, ok := row[name]
+		if !ok {
+			return fmt.Errorf("indep: missing value for attribute %s of %s", name, rel)
+		}
+		t[j] = db.st.Dict.Value(v)
+	}
+	db.st.Insts[i].Add(t)
+	return nil
+}
+
+// Rows returns the number of tuples across all relations.
+func (db *Database) Rows() int { return db.st.TupleCount() }
+
+// String renders the state with named values.
+func (db *Database) String() string { return db.st.String() }
+
+// Satisfies reports whether the state satisfies F ∪ {*D} in the
+// weak-instance sense, by running the chase on the padded universal
+// relation. An error means the chase budget was exhausted (possible only
+// for adversarial non-embedded dependency sets).
+func (db *Database) Satisfies() (bool, error) {
+	jd := needsJD(db.schema)
+	return chase.Satisfies(db.st, db.schema.fds, jd, chase.DefaultCaps)
+}
+
+// SatisfiesLocally reports whether every relation is consistent in
+// isolation (r_i ∈ SAT(R_i, Σ_i)); on failure it names the first
+// inconsistent relation.
+func (db *Database) SatisfiesLocally() (bool, string, error) {
+	jd := needsJD(db.schema)
+	ok, bad, err := chase.LocallySatisfies(db.st, db.schema.fds, jd, chase.DefaultCaps)
+	if err != nil {
+		return false, "", err
+	}
+	if ok {
+		return true, "", nil
+	}
+	return false, db.st.Schema.Name(bad), nil
+}
+
+// needsJD reports whether the chase must apply the join-dependency rule:
+// by the paper's Lemma 4, embedded FDs make it unnecessary.
+func needsJD(s *Schema) bool {
+	for _, f := range s.fds {
+		if !s.s.Embeds(f.Attrs()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrRejected wraps insert rejections from a Store.
+var ErrRejected = maintenance.ErrViolation
+
+// Store is a maintained database: every insert is validated so the state
+// always satisfies F ∪ {*D}. For independent schemas validation is a
+// per-relation FD check in O(|F_i|) (the paper's motivating payoff); for
+// other schemas every insert re-runs the chase.
+type Store struct {
+	schema *Schema
+	m      maintenance.Maintainer
+	dict   *relation.Dict
+	fast   bool
+}
+
+// OpenStore analyzes the schema and opens an empty maintained database.
+func (s *Schema) OpenStore() (*Store, error) {
+	m, fast, err := maintenance.ForSchema(s.s, s.fds, chase.DefaultCaps)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{schema: s, m: m, dict: m.State().Dict, fast: fast}, nil
+}
+
+// FastPath reports whether the store uses the independent-schema guard
+// (true) or chase-based maintenance (false).
+func (st *Store) FastPath() bool { return st.fast }
+
+// Insert validates and adds a row. A rejected insert leaves the state
+// unchanged and returns an error wrapping ErrRejected.
+func (st *Store) Insert(rel string, row map[string]string) error {
+	i := st.m.State().Schema.IndexOf(rel)
+	if i < 0 {
+		return fmt.Errorf("indep: unknown relation %q", rel)
+	}
+	attrs := st.m.State().Schema.Attrs(i).Attrs()
+	t := make(relation.Tuple, len(attrs))
+	for j, a := range attrs {
+		name := st.m.State().Schema.U.Name(a)
+		v, ok := row[name]
+		if !ok {
+			return fmt.Errorf("indep: missing value for attribute %s of %s", name, rel)
+		}
+		t[j] = st.dict.Value(v)
+	}
+	return st.m.Insert(i, t)
+}
+
+// Rejected reports whether an Insert error means the row was rejected as
+// inconsistent (as opposed to malformed input).
+func Rejected(err error) bool { return errors.Is(err, maintenance.ErrViolation) }
+
+// Rows returns the number of tuples across all relations.
+func (st *Store) Rows() int { return st.m.State().TupleCount() }
+
+// String renders the store's state.
+func (st *Store) String() string { return st.m.State().String() }

@@ -1,0 +1,76 @@
+package indep
+
+import (
+	"fmt"
+
+	"indep/internal/attrset"
+	"indep/internal/fd"
+	"indep/internal/infer"
+)
+
+// Design-level facade: the classical schema-design checks that surround
+// the paper's independence notion. A designer typically wants all four
+// verdicts about a decomposition: lossless join, dependency preservation
+// (cover-embedding), independence, and acyclicity.
+
+// LosslessJoin reports whether the FDs imply the join dependency *D — the
+// Aho–Beeri–Ullman tableau test. The paper treats *D as a constraint in
+// its own right; when LosslessJoin is true it comes for free.
+func (s *Schema) LosslessJoin() bool {
+	return infer.LosslessJoin(s.s, s.fds)
+}
+
+// CoverEmbedding reports Theorem 2 condition (1): whether the schema
+// embeds a cover of the FDs implied by F ∪ {*D} (dependency preservation
+// in the JD-aware sense). The failing FDs, if any, are returned formatted.
+func (s *Schema) CoverEmbedding() (bool, []string) {
+	ok, failing := infer.CoverEmbeds(s.s, s.fds)
+	var out []string
+	for _, f := range failing {
+		out = append(out, f.Format(s.s.U))
+	}
+	return ok, out
+}
+
+// BCNFViolations returns, per relation, the projected FDs violating
+// Boyce–Codd normal form. Exact but exponential in relation width; schemes
+// wider than ~20 attributes are reported as unchecked.
+func (s *Schema) BCNFViolations() (map[string][]string, []string) {
+	viols := make(map[string][]string)
+	var unchecked []string
+	for i, r := range s.s.Rels {
+		vs, complete := fd.BCNFViolations(s.fds, r.Attrs, 0)
+		if !complete {
+			unchecked = append(unchecked, s.s.Name(i))
+			continue
+		}
+		for _, v := range vs {
+			viols[s.s.Name(i)] = append(viols[s.s.Name(i)], v.FD.Format(s.s.U))
+		}
+	}
+	return viols, unchecked
+}
+
+// Synthesize3NF runs Bernstein's 3NF synthesis over this schema's universe
+// and FDs, returning a fresh Schema whose relations are the synthesized
+// schemes (named S1, S2, …). The result is lossless and cover-embedding by
+// construction — a natural starting point when Analyze rejects a design.
+func (s *Schema) Synthesize3NF() (*Schema, error) {
+	schemes := fd.Synthesize3NF(s.fds, s.s.U.All())
+	// Cover any attributes untouched by FDs so the schema stays valid.
+	var covered attrset.Set
+	for _, set := range schemes {
+		covered = covered.Union(set)
+	}
+	if rest := s.s.U.All().Diff(covered); !rest.IsEmpty() {
+		schemes = append(schemes, rest)
+	}
+	schemaSrc := ""
+	for i, set := range schemes {
+		if i > 0 {
+			schemaSrc += "; "
+		}
+		schemaSrc += fmt.Sprintf("S%d(%s)", i+1, s.s.U.Format(set, ","))
+	}
+	return Parse(schemaSrc, s.fds.Format(s.s.U))
+}

@@ -1,0 +1,108 @@
+package indep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLosslessJoinFacade(t *testing.T) {
+	// Example 1's decomposition is lossless; Example 2's *D is a genuine
+	// extra constraint.
+	ex1 := MustParse("CD(C,D); CT(C,T); TD(T,D)", "C -> D; C -> T; T -> D")
+	if !ex1.LosslessJoin() {
+		t.Fatal("Example 1 decomposition must be lossless")
+	}
+	ex2 := MustParse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if ex2.LosslessJoin() {
+		t.Fatal("Example 2's *D is not implied by its FDs")
+	}
+}
+
+func TestCoverEmbeddingFacade(t *testing.T) {
+	s := MustParse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R; S H -> R")
+	ok, failing := s.CoverEmbedding()
+	if ok || len(failing) != 1 || failing[0] != "S H -> R" {
+		t.Fatalf("ok=%v failing=%v", ok, failing)
+	}
+}
+
+func TestBCNFViolationsFacade(t *testing.T) {
+	// CTD with C->T, C->D is fine (C is a key); adding T->D to the same
+	// scheme violates BCNF.
+	s := MustParse("COURSE(C,T,D)", "C -> T; C -> D; T -> D")
+	viols, unchecked := s.BCNFViolations()
+	if len(unchecked) != 0 {
+		t.Fatalf("unchecked: %v", unchecked)
+	}
+	if len(viols["COURSE"]) == 0 {
+		t.Fatalf("T -> D must violate BCNF on COURSE: %v", viols)
+	}
+}
+
+func TestSynthesize3NFFacade(t *testing.T) {
+	// The non-independent Example 1 universe, resynthesized: C->D becomes
+	// derivable and the synthesis is a sound design.
+	s := MustParse("U(C,T,D)", "C -> T; T -> D")
+	syn, err := s.Synthesize3NF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !syn.LosslessJoin() {
+		t.Fatal("3NF synthesis must be lossless")
+	}
+	ok, failing := syn.CoverEmbedding()
+	if !ok {
+		t.Fatalf("3NF synthesis must be cover-embedding; failing %v", failing)
+	}
+	a, err := syn.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Independent {
+		t.Fatalf("synthesized CT/TD design must be independent:\n%s", a.Summary())
+	}
+	// The schemes are CT and TD.
+	joined := strings.Join(syn.Relations(), ",")
+	if len(syn.Relations()) != 2 {
+		t.Fatalf("schemes = %s", joined)
+	}
+}
+
+func TestSynthesize3NFCoversLooseAttributes(t *testing.T) {
+	s := MustParse("U(A,B,C,Z)", "A -> B")
+	syn, err := s.Synthesize3NF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Z and C appear in no FD; the synthesis must still cover them.
+	found := map[string]bool{}
+	for _, rel := range syn.Relations() {
+		attrs, _ := syn.RelationAttrs(rel)
+		for _, a := range attrs {
+			found[a] = true
+		}
+	}
+	for _, a := range []string{"A", "B", "C", "Z"} {
+		if !found[a] {
+			t.Fatalf("attribute %s lost by synthesis", a)
+		}
+	}
+}
+
+func TestSynthesisOfExample1UniverseIsIndependent(t *testing.T) {
+	// Running synthesis on the full Example-1 FD set drops the derived
+	// C->D edge into the transitive design CT/TD: the repaired design the
+	// university example converges to.
+	s := MustParse("U(C,T,D)", "C -> D; C -> T; T -> D")
+	syn, err := s.Synthesize3NF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := syn.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Independent {
+		t.Fatalf("synthesis should repair Example 1:\n%s", a.Summary())
+	}
+}

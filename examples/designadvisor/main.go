@@ -1,0 +1,102 @@
+// Designadvisor: given one universal set of attributes and constraints,
+// compare candidate decompositions the way a schema designer would —
+// checking independence (can constraints be enforced per relation?) and
+// acyclicity (are global joins cheap?) for each, and printing the concrete
+// anomaly for every rejected design.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"indep"
+)
+
+type candidate struct {
+	name   string
+	schema string
+	fds    string
+}
+
+func main() {
+	// Universe: Course, Teacher, Department, Student, Hour, Room.
+	// Constraints: C->T, C->D, T->D (a teacher belongs to a department and
+	// courses inherit it), CH->R, SH->R (students can't be in two rooms).
+	candidates := []candidate{
+		{
+			name:   "triangle (Example 1 pattern)",
+			schema: "CD(C,D); CT(C,T); TD(T,D); SHR(S,H,R); CHR(C,H,R)",
+			fds:    "C -> D; C -> T; T -> D; C H -> R; S H -> R",
+		},
+		{
+			name:   "drop the derived C->D edge",
+			schema: "CT(C,T); TD(T,D); SHR(S,H,R); CHR(C,H,R)",
+			fds:    "C -> T; T -> D; C H -> R; S H -> R",
+		},
+		{
+			name:   "keep room constraints but split the link table",
+			schema: "CT(C,T); TD(T,D); CHR(C,H,R); CSH(C,S,H)",
+			fds:    "C -> T; T -> D; C H -> R",
+		},
+	}
+
+	for _, c := range candidates {
+		s, err := indep.Parse(c.schema, c.fds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := s.Analyze()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s\n    schema: %s\n    fds:    %s\n", c.name, c.schema, c.fds)
+		fmt.Printf("    acyclic: %v\n", s.IsAcyclic())
+		if a.Independent {
+			fmt.Println("    independent: YES — every constraint enforceable in one relation:")
+			for _, rel := range s.Relations() {
+				fds := a.RelationCovers[rel]
+				if len(fds) == 0 {
+					continue
+				}
+				fmt.Printf("      %s enforces %v\n", rel, fds)
+			}
+		} else {
+			fmt.Printf("    independent: NO (%s)\n", a.Reason)
+			if len(a.FailingFDs) > 0 {
+				fmt.Printf("      constraints with no home relation: %v\n", a.FailingFDs)
+			}
+			if a.Witness != nil {
+				fmt.Printf("      anomaly the design permits (locally fine, globally contradictory):\n")
+				fmt.Print(indentLines(a.Witness.String()))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func indentLines(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "        " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			if cur != "" {
+				lines = append(lines, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

@@ -1,0 +1,71 @@
+// Hardmaintenance: Theorem 1 made concrete. The maintenance problem — "is
+// the state still satisfying after inserting one tuple?" — embeds the
+// NP-complete question "is tuple t in the projection of the join?". This
+// example builds the paper's reduction and shows the chase verdict tracking
+// join membership exactly, with cost exploding as the join widens.
+//
+// (This example exercises internal packages directly; it demonstrates the
+// reduction machinery rather than the public facade.)
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"indep/internal/attrset"
+	"indep/internal/chase"
+	"indep/internal/maintenance"
+	"indep/internal/relation"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(42))
+	fmt.Println("Theorem 1 reduction: maintenance of one insert decides join membership")
+	fmt.Printf("%4s %8s %12s %14s %12s %8s\n", "k", "tuples", "t in join?", "p' satisfying", "agree", "time")
+	for k := 2; k <= 7; k++ {
+		u := attrset.NewUniverse()
+		for i := 0; i <= k; i++ {
+			u.Add(fmt.Sprintf("X%d", i))
+		}
+		inst := relation.NewInstance(u.All())
+		for i := 0; i < 3*k; i++ {
+			t := make(relation.Tuple, k+1)
+			for c := range t {
+				t[c] = relation.Value(r.Intn(3))
+			}
+			inst.Add(t)
+		}
+		// Chain of binary schemes X_i X_{i+1}; ask about (X0, Xk) pairs.
+		var schemes []attrset.Set
+		for i := 0; i < k; i++ {
+			schemes = append(schemes, attrset.Of(i, i+1))
+		}
+		x := attrset.Of(0, k)
+		tu := relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))}
+
+		member := maintenance.MemberOfJoin(inst, schemes, x, tu)
+		red, err := maintenance.BuildReduction(u, inst, schemes, x, tu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// p must satisfy Σ before the insert — Theorem 1's premise.
+		if ok, err := chase.Satisfies(red.P, red.FDs, true, chase.DefaultCaps); err != nil || !ok {
+			log.Fatalf("base state must satisfy (ok=%v err=%v)", ok, err)
+		}
+		p2 := red.P.Clone()
+		p2.Insts[red.Last].Add(red.Inserted)
+		start := time.Now()
+		sat, err := chase.Satisfies(p2, red.FDs, true, chase.Caps{MaxRows: 2_000_000, MaxIters: 100000})
+		el := time.Since(start)
+		if err != nil {
+			fmt.Printf("%4d %8d %12v %14s\n", k, p2.TupleCount(), member, "budget")
+			continue
+		}
+		fmt.Printf("%4d %8d %12v %14v %12v %8s\n",
+			k, p2.TupleCount(), member, sat, sat == !member, el.Round(time.Microsecond))
+	}
+	fmt.Println("\np' is satisfying exactly when t is NOT in the join (Theorem 1);")
+	fmt.Println("no polynomial maintenance algorithm exists for arbitrary schemas unless P=NP.")
+}

@@ -1,0 +1,83 @@
+// University: a registrar designs a schema, learns why one variant leaks
+// cross-relation anomalies (the paper's Example 1 pattern: two routes from
+// courses to departments), inspects the concrete counterexample state, and
+// fixes the design.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"indep"
+)
+
+func analyze(title, schemaSrc, fdSrc string) *indep.Analysis {
+	s, err := indep.Parse(schemaSrc, fdSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := s.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- %s\nschema: %s\n%s\n", title, s, a.Summary())
+	return a
+}
+
+func main() {
+	// Attempt 1: the paper's Example 1. Courses have departments (C->D),
+	// teachers (C->T), and teachers have departments (T->D). Two different
+	// functions lead from courses to departments — the design overloads D.
+	a := analyze("attempt 1: overloaded department attribute",
+		"CD(C,D); CT(C,T); TD(T,D)",
+		"C -> D; C -> T; T -> D")
+	if a.Independent {
+		log.Fatal("expected a dependent design")
+	}
+	// The witness is a real update anomaly: reproduce it through the
+	// unchecked Database API and confirm the chase sees the contradiction.
+	s := indep.MustParse("CD(C,D); CT(C,T); TD(T,D)", "C -> D; C -> T; T -> D")
+	db := s.NewDatabase()
+	for rel, row := range map[string]map[string]string{
+		"CD": {"C": "CS402", "D": "CS"},
+		"CT": {"C": "CS402", "T": "Jones"},
+		"TD": {"T": "Jones", "D": "EE"},
+	} {
+		if err := db.Insert(rel, row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	localOK, _, err := db.SatisfiesLocally()
+	if err != nil {
+		log.Fatal(err)
+	}
+	globalOK, err := db.Satisfies()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the CS402/Jones state: locally consistent = %v, weak instance exists = %v\n",
+		localOK, globalOK)
+	fmt.Println("(every relation checks out alone, yet Smith's department is contradictory:")
+	fmt.Println(" exactly the inter-relation constraint independence eliminates)")
+
+	// Attempt 2: separate the two relationships — the teacher's department
+	// lives only in TD, the course's only in CD, and CT links them. Each
+	// FD now has a single home and the design is independent.
+	fmt.Println()
+	a2 := analyze("attempt 2: one relationship per relation",
+		"CD(C,D); CT(C,T); TE(T,E)",
+		"C -> D; C -> T; T -> E")
+	if !a2.Independent {
+		log.Fatal("expected an independent design")
+	}
+
+	// Attempt 3: the full registrar schema with enrolment and rooms.
+	fmt.Println()
+	a3 := analyze("attempt 3: full registrar",
+		"COURSE(C,T,D); ENROLL(S,C,G); ROOMS(C,H,R); STUDENT(S,N,Y)",
+		"C -> T; C -> D; S C -> G; C H -> R; S -> N; S -> Y")
+	if !a3.Independent {
+		log.Fatal("expected an independent design")
+	}
+	fmt.Println("all constraints are enforceable relation-by-relation; maintenance is O(|F_i|) per insert.")
+}

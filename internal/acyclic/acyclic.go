@@ -1,0 +1,129 @@
+// Package acyclic implements the acyclic-database-schema machinery the
+// paper leans on for context ([BFM], [Y]): the GYO ear-removal reduction,
+// join-tree construction, semijoin full reducers, and the
+// pairwise/global-consistency test. For acyclic schemas the maintenance
+// problem is polynomial even without independence; these tools quantify
+// that contrast in the benchmarks.
+package acyclic
+
+import (
+	"indep/internal/attrset"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// JoinTreeEdge connects a scheme to its parent in a join tree.
+type JoinTreeEdge struct {
+	Child, Parent int
+}
+
+// GYO runs the Graham–Yu–Özsoyoğlu ear-removal reduction. A scheme R is an
+// ear when every attribute of R is exclusive to R or contained in some
+// other remaining scheme W (the witness). GYO returns whether the schema is
+// acyclic and, if so, a join tree given as parent edges in removal order
+// (the last remaining scheme is the root, with no edge).
+func GYO(s *schema.Schema) (bool, []JoinTreeEdge) {
+	n := s.Size()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+	var edges []JoinTreeEdge
+	for remaining > 1 {
+		removed := false
+		for i := 0; i < n && remaining > 1; i++ {
+			if !alive[i] {
+				continue
+			}
+			// Attributes of i shared with other alive schemes.
+			var shared attrset.Set
+			for j := 0; j < n; j++ {
+				if j != i && alive[j] {
+					shared = shared.Union(s.Attrs(i).Intersect(s.Attrs(j)))
+				}
+			}
+			// Ear iff some other alive scheme contains all shared attrs.
+			for j := 0; j < n; j++ {
+				if j != i && alive[j] && shared.SubsetOf(s.Attrs(j)) {
+					alive[i] = false
+					remaining--
+					edges = append(edges, JoinTreeEdge{Child: i, Parent: j})
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			return false, nil
+		}
+	}
+	return true, edges
+}
+
+// IsAcyclic reports whether the schema hypergraph is α-acyclic.
+func IsAcyclic(s *schema.Schema) bool {
+	ok, _ := GYO(s)
+	return ok
+}
+
+// FullReduce applies a full reducer to the state: semijoins up the join
+// tree (children into parents) and back down, after which every relation
+// contains exactly the tuples that participate in the global join
+// (Yannakakis). It returns the reduced state and whether any tuple was
+// removed. The schema must be acyclic.
+func FullReduce(st *relation.State) (*relation.State, bool, bool) {
+	ok, edges := GYO(st.Schema)
+	if !ok {
+		return nil, false, false
+	}
+	out := st.Clone()
+	changed := false
+	apply := func(target, source int) {
+		reduced := relation.Semijoin(out.Insts[target], out.Insts[source])
+		if reduced.Len() != out.Insts[target].Len() {
+			changed = true
+		}
+		out.Insts[target] = reduced
+	}
+	// Leaves-to-root: edges are in removal order, so each child is removed
+	// before its parent; semijoin parent ⋉ child in that order.
+	for _, e := range edges {
+		apply(e.Parent, e.Child)
+	}
+	// Root-to-leaves: reverse order.
+	for i := len(edges) - 1; i >= 0; i-- {
+		apply(edges[i].Child, edges[i].Parent)
+	}
+	return out, changed, true
+}
+
+// GloballyConsistent reports whether the state is join consistent — the
+// projections of one universal instance. For acyclic schemas this is
+// equivalent to the full reducer removing nothing (pairwise consistency
+// suffices, [BFM]); for cyclic schemas it falls back to computing the join.
+func GloballyConsistent(st *relation.State) bool {
+	if _, changed, ok := FullReduce(st); ok {
+		return !changed
+	}
+	return st.JoinConsistent()
+}
+
+// PairwiseConsistent reports whether every pair of relations agrees on
+// their common attributes (each tuple survives the pairwise semijoin).
+func PairwiseConsistent(st *relation.State) bool {
+	for i := range st.Insts {
+		for j := range st.Insts {
+			if i == j {
+				continue
+			}
+			if !st.Schema.Attrs(i).Intersects(st.Schema.Attrs(j)) {
+				continue
+			}
+			if relation.Semijoin(st.Insts[i], st.Insts[j]).Len() != st.Insts[i].Len() {
+				return false
+			}
+		}
+	}
+	return true
+}

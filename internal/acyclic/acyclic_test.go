@@ -1,0 +1,136 @@
+package acyclic
+
+import (
+	"math/rand"
+	"testing"
+
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+func TestGYOAcyclicChain(t *testing.T) {
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(C,D)")
+	ok, edges := GYO(s)
+	if !ok {
+		t.Fatal("chain must be acyclic")
+	}
+	if len(edges) != 2 {
+		t.Fatalf("join tree edges = %v", edges)
+	}
+}
+
+func TestGYOCyclicTriangle(t *testing.T) {
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(C,A)")
+	if IsAcyclic(s) {
+		t.Fatal("triangle must be cyclic")
+	}
+}
+
+func TestGYOStar(t *testing.T) {
+	s := schema.MustParse("FACT(A,B,C); D1(A,X); D2(B,Y); D3(C,Z)")
+	if !IsAcyclic(s) {
+		t.Fatal("star must be acyclic")
+	}
+}
+
+func TestGYOSingleScheme(t *testing.T) {
+	s := schema.MustParse("R(A,B)")
+	ok, edges := GYO(s)
+	if !ok || len(edges) != 0 {
+		t.Fatal("single scheme is trivially acyclic with empty tree")
+	}
+}
+
+func TestGYOPaperExample2(t *testing.T) {
+	// CT, CS, CHR share only C: acyclic (C is in every scheme).
+	s := schema.MustParse("CT(C,T); CS(C,S); CHR(C,H,R)")
+	if !IsAcyclic(s) {
+		t.Fatal("Example 2 schema is acyclic")
+	}
+}
+
+func TestFullReduceRemovesDanglers(t *testing.T) {
+	s := schema.MustParse("R1(A,B); R2(B,C)")
+	st := relation.NewState(s)
+	st.Add("R1", relation.Tuple{1, 2})
+	st.Add("R1", relation.Tuple{9, 8}) // dangling: B=8 unmatched
+	st.Add("R2", relation.Tuple{2, 3})
+	reduced, changed, ok := FullReduce(st)
+	if !ok || !changed {
+		t.Fatalf("ok=%v changed=%v", ok, changed)
+	}
+	if reduced.Insts[0].Len() != 1 || !reduced.Insts[0].Has(relation.Tuple{1, 2}) {
+		t.Fatalf("reduced R1 = %v", reduced.Insts[0].Tuples)
+	}
+	// Reduced state must be globally consistent.
+	if !GloballyConsistent(reduced) {
+		t.Fatal("reduced state must be consistent")
+	}
+}
+
+func TestFullReduceCyclicFails(t *testing.T) {
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(C,A)")
+	st := relation.NewState(s)
+	if _, _, ok := FullReduce(st); ok {
+		t.Fatal("full reducer must refuse cyclic schemas")
+	}
+}
+
+func TestGloballyConsistentMatchesJoinOracle(t *testing.T) {
+	// On acyclic schemas, the semijoin test must agree with computing the
+	// join directly.
+	r := rand.New(rand.NewSource(13))
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(C,D)")
+	for i := 0; i < 200; i++ {
+		st := relation.NewState(s)
+		for j := 0; j < 3; j++ {
+			st.Add("R1", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+			st.Add("R2", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+			st.Add("R3", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+		}
+		fast := GloballyConsistent(st)
+		slow := st.JoinConsistent()
+		if fast != slow {
+			t.Fatalf("consistency mismatch: semijoin=%v join=%v on\n%s", fast, slow, st)
+		}
+	}
+}
+
+func TestPairwiseVsGlobalOnCyclic(t *testing.T) {
+	// The classic: a cyclic triangle state that is pairwise consistent but
+	// not globally consistent ([BFM]'s motivating example).
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(C,A)")
+	st := relation.NewState(s)
+	// A,B / B,C / C,A — parity trick: every pair joins but no single
+	// universal tuple exists.
+	st.Add("R1", relation.Tuple{0, 0})
+	st.Add("R1", relation.Tuple{1, 1})
+	st.Add("R2", relation.Tuple{0, 1})
+	st.Add("R2", relation.Tuple{1, 0})
+	// R3 columns are (A,C) in universe order A,B,C.
+	st.Add("R3", relation.Tuple{0, 0})
+	st.Add("R3", relation.Tuple{1, 1})
+	if !PairwiseConsistent(st) {
+		t.Fatal("state must be pairwise consistent")
+	}
+	if st.JoinConsistent() {
+		t.Fatal("state must not be globally consistent")
+	}
+}
+
+func TestPairwiseConsistentOnAcyclicEqualsGlobal(t *testing.T) {
+	// For acyclic schemas, pairwise consistency ⇒ global ([BFM]); check on
+	// random states of the chain schema.
+	r := rand.New(rand.NewSource(14))
+	s := schema.MustParse("R1(A,B); R2(B,C)")
+	for i := 0; i < 200; i++ {
+		st := relation.NewState(s)
+		for j := 0; j < 3; j++ {
+			st.Add("R1", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+			st.Add("R2", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+		}
+		if PairwiseConsistent(st) != st.JoinConsistent() {
+			t.Fatalf("BFM equivalence failed on\n%s", st)
+		}
+	}
+}

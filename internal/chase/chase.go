@@ -1,0 +1,393 @@
+// Package chase implements the chase procedure of Maier, Mendelzon and
+// Sagiv [MMS] for functional and join dependencies, exactly as used by the
+// paper (Section 2):
+//
+//   - a database state p is padded out to a universal relation I(p) with a
+//     distinct variable in every missing column;
+//   - the FD-rule equates symbols (replacing variables, or declaring a
+//     contradiction when two distinct constants must be equated);
+//   - the JD-rule for *D adds every universal tuple whose projection on each
+//     scheme already appears;
+//   - p satisfies Σ iff the chase terminates without contradiction; the
+//     final relation is a weak instance for p.
+//
+// The chase with a join dependency can grow exponentially (this is exactly
+// why the paper's polynomial algorithms matter), so all entry points take a
+// Caps budget and report when it is exhausted. The package is the semantic
+// oracle against which the polynomial algorithms of internal/infer and
+// internal/independence are validated.
+package chase
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"indep/internal/attrset"
+	"indep/internal/fd"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// Caps bounds a chase computation.
+type Caps struct {
+	MaxRows  int // maximum number of universal rows (JD-rule growth)
+	MaxIters int // maximum number of full FD/JD sweeps
+}
+
+// DefaultCaps is a budget comfortably above anything the test workloads
+// need while still guarding against the chase's exponential worst case.
+var DefaultCaps = Caps{MaxRows: 50000, MaxIters: 10000}
+
+// ErrBudget is returned when a chase exceeds its Caps.
+var ErrBudget = errors.New("chase: budget exhausted")
+
+type symKind uint8
+
+const (
+	varSym symKind = iota
+	constSym
+)
+
+// Conflict describes the contradiction that made a state unsatisfying: the
+// FD whose application tried to identify two distinct constants.
+type Conflict struct {
+	FD   fd.FD
+	Attr int
+	A, B relation.Value
+}
+
+// Engine is a chase computation over a universal relation with tagged
+// symbol columns.
+type Engine struct {
+	U      *attrset.Universe
+	width  int
+	parent []int32
+	kind   []symKind
+	val    []relation.Value
+	consts map[relation.Value]int32
+	rows   [][]int32
+
+	Failed   bool
+	Conflict *Conflict
+}
+
+// NewEngine creates an empty engine over the universe.
+func NewEngine(u *attrset.Universe) *Engine {
+	return &Engine{
+		U:      u,
+		width:  u.Size(),
+		consts: make(map[relation.Value]int32),
+	}
+}
+
+func (e *Engine) newVar() int32 {
+	s := int32(len(e.parent))
+	e.parent = append(e.parent, s)
+	e.kind = append(e.kind, varSym)
+	e.val = append(e.val, 0)
+	return s
+}
+
+func (e *Engine) constSym(v relation.Value) int32 {
+	if s, ok := e.consts[v]; ok {
+		return s
+	}
+	s := int32(len(e.parent))
+	e.parent = append(e.parent, s)
+	e.kind = append(e.kind, constSym)
+	e.val = append(e.val, v)
+	e.consts[v] = s
+	return s
+}
+
+func (e *Engine) find(s int32) int32 {
+	for e.parent[s] != s {
+		e.parent[s] = e.parent[e.parent[s]]
+		s = e.parent[s]
+	}
+	return s
+}
+
+// union merges two symbols. It returns false (and records the conflict) if
+// both are distinct constants; constants absorb variables.
+func (e *Engine) union(a, b int32) bool {
+	ra, rb := e.find(a), e.find(b)
+	if ra == rb {
+		return true
+	}
+	if e.kind[ra] == constSym && e.kind[rb] == constSym {
+		return false
+	}
+	// Make the constant (if any) the root so constants survive merging.
+	if e.kind[ra] == constSym {
+		ra, rb = rb, ra
+	}
+	e.parent[ra] = rb
+	return true
+}
+
+// NewVar allocates a fresh variable symbol for callers composing their own
+// tableaux (e.g. the lossless-join test).
+func (e *Engine) NewVar() int32 { return e.newVar() }
+
+// Find returns the canonical representative of a symbol after merging.
+func (e *Engine) Find(s int32) int32 { return e.find(s) }
+
+// AddRow appends a universal row; syms must have length |U|.
+func (e *Engine) AddRow(syms []int32) {
+	if len(syms) != e.width {
+		panic("chase: row width mismatch")
+	}
+	e.rows = append(e.rows, syms)
+}
+
+// PadState loads I(p): every tuple of every relation becomes a universal
+// row, constant in its scheme's columns and a fresh variable elsewhere.
+func (e *Engine) PadState(st *relation.State) {
+	for i, in := range st.Insts {
+		attrs := st.Schema.Attrs(i).Attrs()
+		for _, t := range in.Tuples {
+			row := make([]int32, e.width)
+			for c := range row {
+				row[c] = -1
+			}
+			for j, a := range attrs {
+				row[a] = e.constSym(t[j])
+			}
+			for c := range row {
+				if row[c] < 0 {
+					row[c] = e.newVar()
+				}
+			}
+			e.AddRow(row)
+		}
+	}
+}
+
+// Rows returns the number of universal rows.
+func (e *Engine) Rows() int { return len(e.rows) }
+
+// resolvedKey renders a row's canonical symbol vector for deduplication.
+func (e *Engine) resolvedKey(row []int32) string {
+	var b strings.Builder
+	for _, s := range row {
+		fmt.Fprintf(&b, "%d|", e.find(s))
+	}
+	return b.String()
+}
+
+// fdPass applies the FD-rule for every dependency once; it reports whether
+// any symbol was merged. On contradiction it records the conflict and
+// returns false for merged.
+func (e *Engine) fdPass(fds fd.List) (merged bool) {
+	for _, f := range fds {
+		lhs := f.LHS.Attrs()
+		rhs := f.RHS.Diff(f.LHS).Attrs()
+		if len(rhs) == 0 {
+			continue
+		}
+		buckets := make(map[string]int, len(e.rows))
+		for ri, row := range e.rows {
+			var k strings.Builder
+			for _, a := range lhs {
+				fmt.Fprintf(&k, "%d|", e.find(row[a]))
+			}
+			key := k.String()
+			if first, ok := buckets[key]; ok {
+				frow := e.rows[first]
+				for _, a := range rhs {
+					x, y := e.find(frow[a]), e.find(row[a])
+					if x == y {
+						continue
+					}
+					if !e.union(x, y) {
+						e.Failed = true
+						e.Conflict = &Conflict{FD: f, Attr: a, A: e.val[x], B: e.val[y]}
+						return false
+					}
+					merged = true
+				}
+			} else {
+				buckets[key] = ri
+			}
+		}
+		if merged {
+			// Re-bucketing is needed after merges; restart the pass so every
+			// pair that now agrees on the LHS is seen.
+			return true
+		}
+	}
+	return merged
+}
+
+// ChaseFDs runs the FD-rule to fixpoint (Honeyman's satisfaction test when
+// the input state has one relation padded out). Returns nil on success, the
+// conflict as an error when the state is contradictory.
+func (e *Engine) ChaseFDs(fds fd.List, caps Caps) error {
+	for iter := 0; ; iter++ {
+		if caps.MaxIters > 0 && iter > caps.MaxIters {
+			return ErrBudget
+		}
+		if !e.fdPass(fds) {
+			break
+		}
+	}
+	if e.Failed {
+		return e.conflictErr()
+	}
+	return nil
+}
+
+func (e *Engine) conflictErr() error {
+	c := e.Conflict
+	return fmt.Errorf("chase: contradiction applying %s at %s: constants %d vs %d",
+		c.FD.Format(e.U), e.U.Name(c.Attr), c.A, c.B)
+}
+
+// jdPass applies the JD-rule for *D once: it computes the natural join of
+// the projections of the current rows onto the schemes of s and adds every
+// missing universal row. It reports whether rows were added.
+func (e *Engine) jdPass(s *schema.Schema, caps Caps) (added bool, err error) {
+	// Partial tuples over the union of the schemes processed so far,
+	// represented as resolved symbol vectors with -1 for absent columns.
+	partials := [][]int32{make([]int32, e.width)}
+	for c := range partials[0] {
+		partials[0][c] = -1
+	}
+	var have attrset.Set
+	for _, r := range s.Rels {
+		attrs := r.Attrs.Attrs()
+		// Distinct projections of current rows onto this scheme.
+		projSeen := make(map[string][]int32)
+		for _, row := range e.rows {
+			proj := make([]int32, len(attrs))
+			var k strings.Builder
+			for i, a := range attrs {
+				proj[i] = e.find(row[a])
+				fmt.Fprintf(&k, "%d|", proj[i])
+			}
+			projSeen[k.String()] = proj
+		}
+		common := have.Intersect(r.Attrs).Attrs()
+		var next [][]int32
+		nextSeen := make(map[string]bool)
+		for _, p := range partials {
+			for _, proj := range projSeen {
+				ok := true
+				for _, a := range common {
+					// position of a within attrs
+					pi := 0
+					for i, aa := range attrs {
+						if aa == a {
+							pi = i
+							break
+						}
+					}
+					if p[a] != proj[pi] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				merged := make([]int32, e.width)
+				copy(merged, p)
+				for i, a := range attrs {
+					merged[a] = proj[i]
+				}
+				var k strings.Builder
+				for _, v := range merged {
+					fmt.Fprintf(&k, "%d|", v)
+				}
+				if !nextSeen[k.String()] {
+					nextSeen[k.String()] = true
+					next = append(next, merged)
+					if caps.MaxRows > 0 && len(next) > caps.MaxRows {
+						return false, ErrBudget
+					}
+				}
+			}
+		}
+		partials = next
+		have = have.Union(r.Attrs)
+		if len(partials) == 0 {
+			return false, nil
+		}
+	}
+	existing := make(map[string]bool, len(e.rows))
+	for _, row := range e.rows {
+		existing[e.resolvedKey(row)] = true
+	}
+	for _, p := range partials {
+		var k strings.Builder
+		for _, v := range p {
+			fmt.Fprintf(&k, "%d|", v)
+		}
+		if !existing[k.String()] {
+			existing[k.String()] = true
+			e.rows = append(e.rows, p)
+			added = true
+			if caps.MaxRows > 0 && len(e.rows) > caps.MaxRows {
+				return added, ErrBudget
+			}
+		}
+	}
+	return added, nil
+}
+
+// Chase runs FD and JD rules to fixpoint. A nil schema chases FDs only
+// (appropriate when Σ contains no join dependency, or when every FD is
+// embedded and Lemma 4 applies). It returns nil when the chase terminates
+// without contradiction, the conflict error when the state is unsatisfying,
+// and ErrBudget when caps are exhausted.
+func (e *Engine) Chase(fds fd.List, s *schema.Schema, caps Caps) error {
+	for iter := 0; ; iter++ {
+		if caps.MaxIters > 0 && iter > caps.MaxIters {
+			return ErrBudget
+		}
+		if err := e.ChaseFDs(fds, caps); err != nil {
+			return err
+		}
+		if s == nil {
+			return nil
+		}
+		added, err := e.jdPass(s, caps)
+		if err != nil {
+			if errors.Is(err, ErrBudget) {
+				return err
+			}
+			return err
+		}
+		if !added {
+			return nil
+		}
+	}
+}
+
+// WeakInstance materializes the chased universal relation. Variables are
+// rendered as fresh negative values (distinct per symbol class), so the
+// result is a relation.Instance over the full universe.
+func (e *Engine) WeakInstance() *relation.Instance {
+	out := relation.NewInstance(e.U.All())
+	varNames := make(map[int32]relation.Value)
+	for _, row := range e.rows {
+		t := make(relation.Tuple, e.width)
+		for c, s := range row {
+			r := e.find(s)
+			if e.kind[r] == constSym {
+				t[c] = e.val[r]
+			} else {
+				v, ok := varNames[r]
+				if !ok {
+					v = relation.Value(-1 - len(varNames))
+					varNames[r] = v
+				}
+				t[c] = v
+			}
+		}
+		out.Add(t)
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+
+	"indep/internal/fd"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// example1 builds the paper's Example 1: schemes CD, CT, TD with
+// C→D, C→T, T→D and the CS402/Jones state.
+func example1() (*relation.State, fd.List) {
+	s := schema.MustParse("CD(C,D); CT(C,T); TD(T,D)")
+	fds := fd.MustParse(s.U, "C -> D; C -> T; T -> D")
+	st := relation.NewState(s)
+	st.AddNamed("CD", map[string]string{"C": "CS402", "D": "CS"})
+	st.AddNamed("CT", map[string]string{"C": "CS402", "T": "Jones"})
+	st.AddNamed("TD", map[string]string{"T": "Jones", "D": "EE"})
+	return st, fds
+}
+
+func TestExample1NotSatisfying(t *testing.T) {
+	st, fds := example1()
+	ok, err := Satisfies(st, fds, true, DefaultCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Example 1 state must not be satisfying")
+	}
+	// "Note, however, that every relation of p satisfies the fd's embedded
+	// in its scheme" — and indeed the state is locally satisfying.
+	local, bad, err := LocallySatisfies(st, fds, true, DefaultCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !local {
+		t.Fatalf("Example 1 state must be locally satisfying (relation %d failed)", bad)
+	}
+	isW, err := IsIndependenceWitness(st, fds, DefaultCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isW {
+		t.Fatal("Example 1 state is the canonical independence witness")
+	}
+}
+
+func TestExample1ConflictDetail(t *testing.T) {
+	st, fds := example1()
+	e := NewEngine(st.Schema.U)
+	e.PadState(st)
+	err := e.Chase(fds.Split(), st.Schema, DefaultCaps)
+	if err == nil || !e.Failed {
+		t.Fatal("chase must fail")
+	}
+	if e.Conflict == nil {
+		t.Fatal("conflict detail missing")
+	}
+	// The clash is in attribute D between the CS and EE constants.
+	if got := st.Schema.U.Name(e.Conflict.Attr); got != "D" {
+		t.Errorf("conflict attribute = %s, want D", got)
+	}
+}
+
+func TestConsistentStateSatisfies(t *testing.T) {
+	s := schema.MustParse("CD(C,D); CT(C,T); TD(T,D)")
+	fds := fd.MustParse(s.U, "C -> D; C -> T; T -> D")
+	st := relation.NewState(s)
+	st.AddNamed("CD", map[string]string{"C": "CS402", "D": "EE"})
+	st.AddNamed("CT", map[string]string{"C": "CS402", "T": "Jones"})
+	st.AddNamed("TD", map[string]string{"T": "Jones", "D": "EE"})
+	ok, err := Satisfies(st, fds, true, DefaultCaps)
+	if err != nil || !ok {
+		t.Fatalf("consistent variant must satisfy (ok=%v err=%v)", ok, err)
+	}
+	w, ok, err := WeakInstanceFor(st, fds, true, DefaultCaps)
+	if err != nil || !ok {
+		t.Fatal("weak instance must exist")
+	}
+	// Weak instance must contain each relation in its projection.
+	for i, in := range st.Insts {
+		proj := w.Project(st.Schema.Attrs(i))
+		for _, tu := range in.Tuples {
+			if !proj.Has(tu) {
+				t.Fatalf("weak instance does not contain relation %d tuple %v", i, tu)
+			}
+		}
+	}
+}
+
+func TestJDRuleAddsJoinTuples(t *testing.T) {
+	// State over {AB, BC} that is pairwise joinable: JD-rule must add the
+	// combined row; no FDs, so always satisfying.
+	s := schema.MustParse("R1(A,B); R2(B,C)")
+	st := relation.NewState(s)
+	st.Add("R1", relation.Tuple{1, 2})
+	st.Add("R2", relation.Tuple{2, 3})
+	e := NewEngine(s.U)
+	e.PadState(st)
+	if err := e.Chase(nil, s, DefaultCaps); err != nil {
+		t.Fatal(err)
+	}
+	w := e.WeakInstance()
+	if !w.Has(relation.Tuple{1, 2, 3}) {
+		t.Fatalf("JD-rule must add (1,2,3); weak instance: %v", w.Tuples)
+	}
+}
+
+func TestStatesAlwaysSatisfyJDAlone(t *testing.T) {
+	// With no FDs, contradictions are impossible: every state satisfies *D.
+	r := rand.New(rand.NewSource(9))
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(A,C)")
+	for i := 0; i < 30; i++ {
+		st := relation.NewState(s)
+		for j := 0; j < 4; j++ {
+			st.Add("R1", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+			st.Add("R2", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+			st.Add("R3", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+		}
+		ok, err := Satisfies(st, nil, true, DefaultCaps)
+		if err != nil || !ok {
+			t.Fatalf("state must satisfy *D alone (ok=%v err=%v)", ok, err)
+		}
+	}
+}
+
+func TestImpliesFDPlain(t *testing.T) {
+	// C→T, TH→R ⊨ CH→R (no JD needed).
+	s := schema.MustParse("CT(C,T); CHR(C,H,R); S(S)")
+	fds := fd.MustParse(s.U, "C -> T; T H -> R")
+	ok, err := ImpliesFD(s, fds, s.U.Set("C", "H"), s.U.MustIndex("R"), false, DefaultCaps)
+	if err != nil || !ok {
+		t.Fatalf("CH->R must be implied (ok=%v err=%v)", ok, err)
+	}
+	ok, err = ImpliesFD(s, fds, s.U.Set("S", "H"), s.U.MustIndex("R"), false, DefaultCaps)
+	if err != nil || ok {
+		t.Fatalf("SH->R must not be implied (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestImpliesFDNeedsJD(t *testing.T) {
+	// U = {A,Y,B}, D = {AY, AB}, F = {Y→B}. The join dependency forces the
+	// two-row tableau to mix, after which Y→B collapses B: so
+	// F ∪ {*D} ⊨ A→B even though F alone does not imply it.
+	s := schema.MustParse("R1(A,Y); R2(A,B)")
+	fds := fd.MustParse(s.U, "Y -> B")
+	a := s.U.MustIndex("B")
+	ok, err := ImpliesFD(s, fds, s.U.Set("A"), a, false, DefaultCaps)
+	if err != nil || ok {
+		t.Fatalf("A->B must NOT follow from FDs alone (ok=%v err=%v)", ok, err)
+	}
+	ok, err = ImpliesFD(s, fds, s.U.Set("A"), a, true, DefaultCaps)
+	if err != nil || !ok {
+		t.Fatalf("A->B must follow from F ∪ {*D} (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestClosureFDWithJD(t *testing.T) {
+	s := schema.MustParse("R1(A,Y); R2(A,B)")
+	fds := fd.MustParse(s.U, "Y -> B")
+	got, err := ClosureFD(s, fds, s.U.Set("A"), true, DefaultCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s.U.Set("A", "B") {
+		t.Fatalf("cl(A) = %s, want A B", s.U.Format(got, " "))
+	}
+}
+
+func TestLemma4EmbeddedFDsJDIrrelevant(t *testing.T) {
+	// Lemma 1/4: for FDs embedded in the schema, satisfaction (local and
+	// global) w.r.t. F coincides with satisfaction w.r.t. F ∪ {*D}.
+	r := rand.New(rand.NewSource(10))
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(C,A)")
+	fds := fd.MustParse(s.U, "A -> B; B -> C; C -> A")
+	for i := 0; i < 40; i++ {
+		st := relation.NewState(s)
+		for j := 0; j < 3; j++ {
+			st.Add("R1", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+			st.Add("R2", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+			st.Add("R3", relation.Tuple{relation.Value(r.Intn(3)), relation.Value(r.Intn(3))})
+		}
+		noJD, err1 := Satisfies(st, fds, false, DefaultCaps)
+		withJD, err2 := Satisfies(st, fds, true, DefaultCaps)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if noJD != withJD {
+			t.Fatalf("Lemma 4 violated on state:\n%s", st)
+		}
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	s := schema.MustParse("R1(A,B); R2(B,C)")
+	st := relation.NewState(s)
+	for i := 0; i < 10; i++ {
+		st.Add("R1", relation.Tuple{relation.Value(i), relation.Value(i % 3)})
+		st.Add("R2", relation.Tuple{relation.Value(i % 3), relation.Value(i)})
+	}
+	_, err := Satisfies(st, nil, true, Caps{MaxRows: 4, MaxIters: 10})
+	if err == nil {
+		t.Fatal("tiny budget must be exhausted")
+	}
+}
+
+func TestEngineRowWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := NewEngine(schema.MustParse("R1(A,B)").U)
+	e.AddRow([]int32{0})
+}
+
+func TestWeakInstanceVariablesDistinct(t *testing.T) {
+	s := schema.MustParse("R1(A,B); R2(C,D)")
+	st := relation.NewState(s)
+	st.Add("R1", relation.Tuple{1, 2})
+	st.Add("R2", relation.Tuple{3, 4})
+	e := NewEngine(s.U)
+	e.PadState(st)
+	if err := e.ChaseFDs(nil, DefaultCaps); err != nil {
+		t.Fatal(err)
+	}
+	w := e.WeakInstance()
+	if w.Len() != 2 {
+		t.Fatalf("rows = %d", w.Len())
+	}
+	// All variable placeholders are negative and distinct within the result.
+	seen := map[relation.Value]int{}
+	for _, tu := range w.Tuples {
+		for _, v := range tu {
+			if v < 0 {
+				seen[v]++
+			}
+		}
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("variable %d appears %d times; padding must be distinct", v, n)
+		}
+	}
+}

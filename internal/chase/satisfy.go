@@ -1,0 +1,145 @@
+package chase
+
+import (
+	"errors"
+
+	"indep/internal/attrset"
+	"indep/internal/fd"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// Satisfies reports whether the state p satisfies Σ = fds ∪ {*D} in the
+// weak-instance sense: a weak instance exists iff the chase of I(p) finds no
+// contradiction. Pass jd=false to test satisfaction of the FDs alone (by
+// Lemma 4 this coincides with fds ∪ {*D} whenever every FD is embedded in
+// the schema). A non-nil error means the chase budget was exhausted and the
+// verdict is unknown.
+func Satisfies(st *relation.State, fds fd.List, jd bool, caps Caps) (bool, error) {
+	e := NewEngine(st.Schema.U)
+	e.PadState(st)
+	var s *schema.Schema
+	if jd {
+		s = st.Schema
+	}
+	err := e.Chase(fds.Split(), s, caps)
+	if e.Failed {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// WeakInstanceFor runs the chase and, when the state is satisfying, returns
+// the resulting weak instance.
+func WeakInstanceFor(st *relation.State, fds fd.List, jd bool, caps Caps) (*relation.Instance, bool, error) {
+	e := NewEngine(st.Schema.U)
+	e.PadState(st)
+	var s *schema.Schema
+	if jd {
+		s = st.Schema
+	}
+	err := e.Chase(fds.Split(), s, caps)
+	if e.Failed {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return e.WeakInstance(), true, nil
+}
+
+// LocallySatisfies reports whether every relation of the state is
+// consistent in isolation, i.e. r_i ∈ SAT(R_i, Σ_i) for each scheme. Per
+// the paper's footnote, r_i satisfies Σ_i iff the state {∅,…,r_i,…,∅}
+// satisfies Σ — which is exactly a chase of the single relation padded out.
+// On failure it returns the index of the first inconsistent relation.
+func LocallySatisfies(st *relation.State, fds fd.List, jd bool, caps Caps) (bool, int, error) {
+	for i := range st.Insts {
+		single := relation.NewState(st.Schema)
+		single.Dict = st.Dict
+		single.Insts[i] = st.Insts[i].Clone()
+		ok, err := Satisfies(single, fds, jd, caps)
+		if err != nil {
+			return false, i, err
+		}
+		if !ok {
+			return false, i, nil
+		}
+	}
+	return true, -1, nil
+}
+
+// IsIndependenceWitness checks that the state is locally satisfying but not
+// globally satisfying w.r.t. fds ∪ {*D}: the shape of every counterexample
+// to independence the paper constructs. It is used to validate the
+// witnesses produced by internal/independence against the chase oracle.
+func IsIndependenceWitness(st *relation.State, fds fd.List, caps Caps) (bool, error) {
+	local, _, err := LocallySatisfies(st, fds, true, caps)
+	if err != nil {
+		return false, err
+	}
+	if !local {
+		return false, nil
+	}
+	global, err := Satisfies(st, fds, true, caps)
+	if err != nil {
+		return false, err
+	}
+	return !global, nil
+}
+
+// ImpliesFD reports whether Σ ⊨ X → A by chasing the canonical two-row
+// tableau (rows agreeing exactly on X) under the FDs and, when jd is true,
+// the join dependency *D of the schema. This is the brute-force counterpart
+// of the polynomial closure in internal/infer and is exponential in the
+// worst case; it exists as the ground truth for validation.
+func ImpliesFD(s *schema.Schema, fds fd.List, x attrset.Set, a int, jd bool, caps Caps) (bool, error) {
+	u := s.U
+	e := NewEngine(u)
+	row1 := make([]int32, u.Size())
+	row2 := make([]int32, u.Size())
+	for c := 0; c < u.Size(); c++ {
+		row1[c] = e.newVar()
+		if x.Has(c) {
+			row2[c] = row1[c]
+		} else {
+			row2[c] = e.newVar()
+		}
+	}
+	e.AddRow(row1)
+	e.AddRow(row2)
+	var js *schema.Schema
+	if jd {
+		js = s
+	}
+	if err := e.Chase(fds.Split(), js, caps); err != nil {
+		if errors.Is(err, ErrBudget) {
+			return false, err
+		}
+		// Contradictions cannot occur: the tableau has no constants.
+		return false, err
+	}
+	return e.find(row1[a]) == e.find(row2[a]), nil
+}
+
+// ClosureFD computes cl_Σ(X) by repeated ImpliesFD over every attribute;
+// exponential ground truth for the polynomial closure in internal/infer.
+func ClosureFD(s *schema.Schema, fds fd.List, x attrset.Set, jd bool, caps Caps) (attrset.Set, error) {
+	out := x
+	for c := 0; c < s.U.Size(); c++ {
+		if out.Has(c) {
+			continue
+		}
+		ok, err := ImpliesFD(s, fds, x, c, jd, caps)
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			out.Add(c)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment runners are exercised at reduced scale; their detailed
+// claims are asserted by the per-package test suites — here we check the
+// harness runs and reports the expected qualitative outcomes.
+
+func small() Params { return Params{Seed: 7, Scale: 20} }
+
+func TestE1ReportsPaperOutcome(t *testing.T) {
+	out := E1(small())
+	for _, want := range []string{
+		"locally satisfying: true",
+		"globally satisfying: false",
+		"independent: false",
+		"witness verified by chase: true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2ReportsPaperOutcome(t *testing.T) {
+	out := E2(small())
+	if !strings.Contains(out, "independent = true") ||
+		!strings.Contains(out, "independent = false, reason = not-cover-embedding") {
+		t.Errorf("E2 output wrong:\n%s", out)
+	}
+}
+
+func TestE3ReportsBothRejectionSites(t *testing.T) {
+	out := E3(small())
+	if !strings.Contains(out, "rejected at line 5") || !strings.Contains(out, "rejected at line 4") {
+		t.Errorf("E3 must show both rejection sites:\n%s", out)
+	}
+	if !strings.Contains(out, "verified = true") {
+		t.Errorf("E3 witness must verify:\n%s", out)
+	}
+}
+
+func TestT1ReductionAgrees(t *testing.T) {
+	out := T1(Params{Seed: 7, Scale: 4})
+	if strings.Contains(out, "agree: false") {
+		t.Errorf("T1 reduction disagreement:\n%s", out)
+	}
+}
+
+func TestT3NoCounterexamplesOnAccepted(t *testing.T) {
+	out := T3(small())
+	if !strings.Contains(out, "counterexamples found: 0") {
+		t.Errorf("T3 found counterexamples on accepted schemas:\n%s", out)
+	}
+}
+
+func TestC1BoundHolds(t *testing.T) {
+	out := C1(small())
+	if !strings.Contains(out, "bound: 1.0") {
+		t.Errorf("C1 malformed:\n%s", out)
+	}
+	// Extract the observed ratio sanity: must not exceed 1.0; the string
+	// itself carries it, so just ensure no "exceeds" style failure by
+	// checking the package test in infer already enforces the bound.
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness is slow")
+	}
+	out := RunAll(Params{Seed: 7, Scale: 4})
+	for _, id := range Order {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("RunAll missing %s", id)
+		}
+	}
+}

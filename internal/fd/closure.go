@@ -1,0 +1,184 @@
+package fd
+
+import "indep/internal/attrset"
+
+// Closure returns X⁺, the closure of X under the FDs of l: the set of all
+// attributes A with l ⊨ X → A (Armstrong [A]). The implementation is the
+// standard fixpoint iteration; with the small universes of dependency
+// theory this is effectively linear.
+func Closure(l List, x attrset.Set) attrset.Set {
+	closed := x
+	for changed := true; changed; {
+		changed = false
+		for _, f := range l {
+			if f.LHS.SubsetOf(closed) && !f.RHS.SubsetOf(closed) {
+				closed = closed.Union(f.RHS)
+				changed = true
+			}
+		}
+	}
+	return closed
+}
+
+// Implies reports whether l ⊨ f, i.e. f.RHS ⊆ Closure(l, f.LHS).
+func Implies(l List, f FD) bool {
+	return f.RHS.SubsetOf(Closure(l, f.LHS))
+}
+
+// ImpliesAll reports whether l ⊨ g for every g in other.
+func ImpliesAll(l, other List) bool {
+	for _, g := range other {
+		if !Implies(l, g) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether the two lists imply each other (are covers of
+// one another).
+func Equivalent(a, b List) bool {
+	return ImpliesAll(a, b) && ImpliesAll(b, a)
+}
+
+// Step records one application of an FD during a traced closure
+// computation: applying Using added the attributes Added.
+type Step struct {
+	Using FD
+	Added attrset.Set
+}
+
+// ClosureTrace computes Closure(l, x) and additionally records, in firing
+// order, which FD first contributed which attributes. The trace supports
+// extracting explicit derivation sequences (see Derive).
+func ClosureTrace(l List, x attrset.Set) (attrset.Set, []Step) {
+	closed := x
+	var steps []Step
+	for changed := true; changed; {
+		changed = false
+		for _, f := range l {
+			if f.LHS.SubsetOf(closed) && !f.RHS.SubsetOf(closed) {
+				added := f.RHS.Diff(closed)
+				closed = closed.Union(f.RHS)
+				steps = append(steps, Step{Using: f, Added: added})
+				changed = true
+			}
+		}
+	}
+	return closed, steps
+}
+
+// Derive returns a nonredundant derivation of X → A from l, in the paper's
+// sense: a sequence f₁,…,fₙ of FDs of l such that each fᵢ's left-hand side
+// is contained in X together with the right-hand sides of earlier fⱼ, the
+// last FD yields A, no FD is superfluous, and ok reports whether the
+// derivation exists at all (A ∈ Closure(l, X)).
+//
+// The derivation is built by running a traced closure and then pruning
+// backwards from A, keeping only steps whose contribution is actually used.
+func Derive(l List, x attrset.Set, a int) (deriv List, ok bool) {
+	if x.Has(a) {
+		return nil, true // trivially derivable; empty derivation
+	}
+	closed, steps := ClosureTrace(l, x)
+	if !closed.Has(a) {
+		return nil, false
+	}
+	needed := attrset.Of(a)
+	used := make([]bool, len(steps))
+	for i := len(steps) - 1; i >= 0; i-- {
+		if steps[i].Added.Intersects(needed) {
+			used[i] = true
+			needed = needed.Diff(steps[i].Added)
+			needed = needed.Union(steps[i].Using.LHS.Diff(x))
+		}
+	}
+	for i, u := range used {
+		if u {
+			deriv = append(deriv, steps[i].Using)
+		}
+	}
+	return deriv, true
+}
+
+// IsSuperkey reports whether x is a superkey of scheme r under l, i.e.
+// r ⊆ Closure(l, x).
+func IsSuperkey(l List, x, r attrset.Set) bool {
+	return r.SubsetOf(Closure(l, x))
+}
+
+// CandidateKeys enumerates the candidate keys of scheme r under the FDs of
+// l restricted to r. The search is the usual lattice walk from r downward;
+// maxKeys bounds the number of keys returned (0 means no bound). The keys
+// are returned in deterministic order.
+func CandidateKeys(l List, r attrset.Set, maxKeys int) []attrset.Set {
+	emb := l.EmbeddedIn(r)
+	// Start from r and greedily shrink; then expand the frontier to find all
+	// minimal superkeys via BFS over attribute removals.
+	seen := map[attrset.Set]bool{}
+	var keys []attrset.Set
+	var frontier []attrset.Set
+	frontier = append(frontier, r)
+	for len(frontier) > 0 {
+		x := frontier[0]
+		frontier = frontier[1:]
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		if !IsSuperkey(emb, x, r) {
+			continue
+		}
+		minimal := true
+		x.ForEach(func(a int) bool {
+			y := x.Without(a)
+			if IsSuperkey(emb, y, r) {
+				minimal = false
+				if !seen[y] {
+					frontier = append(frontier, y)
+				}
+			}
+			return true
+		})
+		if minimal {
+			keys = append(keys, x)
+			if maxKeys > 0 && len(keys) >= maxKeys {
+				break
+			}
+		}
+	}
+	attrset.SortSets(keys)
+	return keys
+}
+
+// ProjectionCover computes a cover of F⁺|r, the FDs implied by l that are
+// embedded in r. The classical algorithm enumerates closures of subsets of
+// r and is exponential in |r|; limit bounds the number of subsets examined
+// (0 means no bound) and the second result reports whether the enumeration
+// completed. Only intended for small schemes — the point of the paper's
+// Section 3 is precisely to avoid this computation.
+func ProjectionCover(l List, r attrset.Set, limit int) (List, bool) {
+	attrs := r.Attrs()
+	n := len(attrs)
+	if n > 30 {
+		return nil, false
+	}
+	var out List
+	total := 1 << uint(n)
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	for mask := 0; mask < total; mask++ {
+		var x attrset.Set
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				x.Add(attrs[i])
+			}
+		}
+		rhs := Closure(l, x).Intersect(r).Diff(x)
+		if !rhs.IsEmpty() {
+			out = append(out, FD{LHS: x, RHS: rhs})
+		}
+	}
+	return out, total == 1<<uint(n)
+}

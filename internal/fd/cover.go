@@ -1,0 +1,67 @@
+package fd
+
+import "indep/internal/attrset"
+
+// NonredundantCover removes FDs that are implied by the remaining ones,
+// scanning in order. The result is equivalent to l.
+func NonredundantCover(l List) List {
+	out := l.Clone()
+	for i := 0; i < len(out); i++ {
+		rest := make(List, 0, len(out)-1)
+		rest = append(rest, out[:i]...)
+		rest = append(rest, out[i+1:]...)
+		if Implies(rest, out[i]) {
+			out = rest
+			i--
+		}
+	}
+	return out
+}
+
+// reduceLHS removes extraneous attributes from the left-hand side of f with
+// respect to l (l must imply f throughout).
+func reduceLHS(l List, f FD) FD {
+	lhs := f.LHS
+	lhs.ForEach(func(a int) bool {
+		smaller := lhs.Without(a)
+		if !smaller.IsEmpty() && f.RHS.SubsetOf(Closure(l, smaller)) {
+			lhs = smaller
+		}
+		return true
+	})
+	return FD{LHS: lhs, RHS: f.RHS}
+}
+
+// CanonicalCover returns a minimal cover of l: single-attribute right-hand
+// sides, no extraneous left-hand-side attributes, and no redundant FDs.
+// The result is equivalent to l and deterministic.
+func CanonicalCover(l List) List {
+	split := l.Split().Dedupe()
+	reduced := make(List, 0, len(split))
+	for _, f := range split {
+		reduced = append(reduced, reduceLHS(split, f))
+	}
+	reduced = reduced.Dedupe()
+	out := NonredundantCover(reduced)
+	out.Sort()
+	return out
+}
+
+// MergeByLHS groups FDs with equal left-hand sides into single FDs with
+// unioned right-hand sides; a compact display form.
+func MergeByLHS(l List) List {
+	byLHS := make(map[attrset.Set]attrset.Set)
+	for _, f := range l {
+		byLHS[f.LHS] = byLHS[f.LHS].Union(f.RHS)
+	}
+	lhss := make([]attrset.Set, 0, len(byLHS))
+	for lhs := range byLHS {
+		lhss = append(lhss, lhs)
+	}
+	attrset.SortSets(lhss)
+	out := make(List, 0, len(lhss))
+	for _, lhs := range lhss {
+		out = append(out, FD{LHS: lhs, RHS: byLHS[lhs]})
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package fd
+
+import "indep/internal/attrset"
+
+// Design-theory helpers: normal forms and decomposition synthesis. These
+// support the schema-design workflow the paper situates itself in (a
+// designer replaces a universal scheme by components and asks which
+// constraints remain enforceable).
+
+// BCNFViolation describes an FD breaking Boyce-Codd normal form on a
+// scheme: a nontrivial projected FD whose left side is not a superkey.
+type BCNFViolation struct {
+	Scheme attrset.Set
+	FD     FD
+}
+
+// BCNFViolations returns the violations of BCNF on scheme r under the
+// projection of l onto r. The projection is computed by subset
+// enumeration, so the check is exact but intended for schemes of modest
+// width (≤ ~20 attributes); complete reports whether enumeration finished.
+func BCNFViolations(l List, r attrset.Set, limit int) (viols []BCNFViolation, complete bool) {
+	proj, complete := ProjectionCover(l, r, limit)
+	for _, f := range proj {
+		if f.Trivial() {
+			continue
+		}
+		if !IsSuperkey(proj, f.LHS, r) {
+			viols = append(viols, BCNFViolation{Scheme: r, FD: f})
+		}
+	}
+	return viols, complete
+}
+
+// IsBCNF reports whether scheme r is in BCNF under l.
+func IsBCNF(l List, r attrset.Set, limit int) (bool, bool) {
+	v, complete := BCNFViolations(l, r, limit)
+	return len(v) == 0, complete
+}
+
+// Synthesize3NF runs Bernstein's third-normal-form synthesis over the
+// universe u: canonical cover, one scheme per left-hand-side group, plus a
+// key scheme when no group contains a candidate key of the universe, with
+// subsumed schemes removed. The result is a lossless, dependency-preserving
+// (cover-embedding by construction) decomposition.
+func Synthesize3NF(l List, universe attrset.Set) []attrset.Set {
+	cover := CanonicalCover(l)
+	merged := MergeByLHS(cover)
+	var schemes []attrset.Set
+	for _, f := range merged {
+		schemes = append(schemes, f.LHS.Union(f.RHS))
+	}
+	// Ensure a global key is present so the join is lossless.
+	hasKey := false
+	for _, s := range schemes {
+		if IsSuperkey(cover, s, universe) {
+			hasKey = true
+			break
+		}
+	}
+	if !hasKey {
+		keys := CandidateKeys(cover, universe, 1)
+		if len(keys) > 0 {
+			schemes = append(schemes, keys[0])
+		} else {
+			schemes = append(schemes, universe)
+		}
+	}
+	// Remove schemes contained in others.
+	var out []attrset.Set
+	for i, s := range schemes {
+		subsumed := false
+		for j, t := range schemes {
+			if i == j {
+				continue
+			}
+			if s.ProperSubsetOf(t) || (s == t && j < i) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, s)
+		}
+	}
+	attrset.SortSets(out)
+	return out
+}

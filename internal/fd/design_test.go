@@ -1,0 +1,111 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"indep/internal/attrset"
+)
+
+func TestBCNFDetection(t *testing.T) {
+	u := uni()
+	// R = ABC with A->B: A is not a superkey of ABC => violation.
+	l := MustParse(u, "A -> B")
+	viols, complete := BCNFViolations(l, u.Set("A", "B", "C"), 0)
+	if !complete || len(viols) == 0 {
+		t.Fatalf("expected violations, got %v (complete=%v)", viols, complete)
+	}
+	// R = AB with A->B: A is a key => BCNF.
+	ok, complete := IsBCNF(l, u.Set("A", "B"), 0)
+	if !complete || !ok {
+		t.Fatalf("AB with A->B must be BCNF")
+	}
+}
+
+func TestBCNFTransitiveViolation(t *testing.T) {
+	u := uni()
+	// Classic: R=ABC, A->B, B->C. B->C violates BCNF on ABC.
+	l := MustParse(u, "A -> B; B -> C")
+	viols, _ := BCNFViolations(l, u.Set("A", "B", "C"), 0)
+	found := false
+	for _, v := range viols {
+		if v.FD.LHS == u.Set("B") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("B->C violation not reported: %v", viols)
+	}
+}
+
+func TestSynthesize3NFClassic(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A -> B; B -> C")
+	schemes := Synthesize3NF(l, u.Set("A", "B", "C"))
+	// Expect AB and BC; A is a key inside AB so no extra key scheme.
+	want := []attrset.Set{u.Set("A", "B"), u.Set("B", "C")}
+	attrset.SortSets(want)
+	if len(schemes) != 2 || schemes[0] != want[0] || schemes[1] != want[1] {
+		t.Fatalf("schemes = %v, want %v", schemes, want)
+	}
+}
+
+func TestSynthesize3NFAddsKey(t *testing.T) {
+	u := uni()
+	// A->B over universe ABC: no scheme contains a key (AC), so one is added.
+	l := MustParse(u, "A -> B")
+	schemes := Synthesize3NF(l, u.Set("A", "B", "C"))
+	hasKey := false
+	for _, s := range schemes {
+		if IsSuperkey(l, s, u.Set("A", "B", "C")) {
+			hasKey = true
+		}
+	}
+	if !hasKey {
+		t.Fatalf("synthesis must include a key scheme: %v", schemes)
+	}
+}
+
+func TestSynthesize3NFNoFDs(t *testing.T) {
+	u := uni()
+	schemes := Synthesize3NF(nil, u.Set("A", "B"))
+	if len(schemes) != 1 || schemes[0] != u.Set("A", "B") {
+		t.Fatalf("no FDs: the universe itself is the key scheme, got %v", schemes)
+	}
+}
+
+func TestQuickSynthesize3NFPreservesDependencies(t *testing.T) {
+	// Every synthesized decomposition embeds a cover of F: for each FD of
+	// the canonical cover, its attributes fit inside one scheme.
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		l := genList(r, 7, 5)
+		var universe attrset.Set
+		for a := 0; a < 7; a++ {
+			universe.Add(a)
+		}
+		schemes := Synthesize3NF(l, universe)
+		for _, f := range CanonicalCover(l) {
+			ok := false
+			for _, s := range schemes {
+				if f.Attrs().SubsetOf(s) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("FD %v not embedded in synthesis %v", f, schemes)
+			}
+		}
+		// And some scheme is a superkey of the covered universe.
+		hasKey := false
+		for _, s := range schemes {
+			if IsSuperkey(l, s, universe) {
+				hasKey = true
+			}
+		}
+		if !hasKey {
+			t.Fatalf("no key scheme in %v", schemes)
+		}
+	}
+}

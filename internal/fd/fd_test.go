@@ -1,0 +1,327 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"indep/internal/attrset"
+)
+
+func uni() *attrset.Universe {
+	return attrset.NewUniverse("A", "B", "C", "D", "E")
+}
+
+func TestParseAndFormat(t *testing.T) {
+	u := uni()
+	l, err := Parse(u, "A B -> C; C -> D, E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 2 {
+		t.Fatalf("len = %d", len(l))
+	}
+	if got := l.Format(u); got != "A B -> C; C -> D E" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	u := uni()
+	for _, src := range []string{"A B C", "-> A", "A ->", "A -> Z"} {
+		if _, err := Parse(u, src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestTrivialAndEmbedded(t *testing.T) {
+	u := uni()
+	f := MustParse(u, "A B -> A")[0]
+	if !f.Trivial() {
+		t.Error("AB->A must be trivial")
+	}
+	g := MustParse(u, "A -> B")[0]
+	if g.Trivial() {
+		t.Error("A->B not trivial")
+	}
+	if !g.EmbeddedIn(u.Set("A", "B", "C")) || g.EmbeddedIn(u.Set("A", "C")) {
+		t.Error("EmbeddedIn wrong")
+	}
+}
+
+func TestClosureTextbook(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A -> B; B -> C; C D -> E")
+	got := Closure(l, u.Set("A"))
+	if got != u.Set("A", "B", "C") {
+		t.Errorf("A+ = %v", u.Format(got, ""))
+	}
+	got = Closure(l, u.Set("A", "D"))
+	if got != u.All() {
+		t.Errorf("AD+ = %v", u.Format(got, ""))
+	}
+}
+
+func TestClosurePaperExample(t *testing.T) {
+	// From the paper's introduction: C→T and TH→R imply CH→R.
+	u := attrset.NewUniverse("C", "T", "S", "H", "R")
+	l := MustParse(u, "C -> T; T H -> R")
+	if !Implies(l, FD{LHS: u.Set("C", "H"), RHS: u.Set("R")}) {
+		t.Error("C->T, TH->R must imply CH->R")
+	}
+	if Implies(l, FD{LHS: u.Set("S", "H"), RHS: u.Set("R")}) {
+		t.Error("SH->R must not be implied")
+	}
+}
+
+func TestSplitAndDedupe(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A -> B C; A -> B; D -> D")
+	split := l.Split()
+	split.Sort()
+	want := MustParse(u, "A -> B; A -> B; A -> C").Dedupe()
+	want.Sort()
+	if !reflect.DeepEqual(split.Dedupe(), want) {
+		t.Errorf("Split = %s", split.Format(u))
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	u := uni()
+	a := MustParse(u, "A -> B; B -> C")
+	b := MustParse(u, "A -> B C; B -> C")
+	if !Equivalent(a, b) {
+		t.Error("expected equivalent")
+	}
+	c := MustParse(u, "A -> B")
+	if Equivalent(a, c) {
+		t.Error("expected not equivalent")
+	}
+}
+
+func TestCanonicalCover(t *testing.T) {
+	u := uni()
+	// Classic: A->BC, B->C, A->B, AB->C reduces to A->B, B->C.
+	l := MustParse(u, "A -> B C; B -> C; A -> B; A B -> C")
+	cov := CanonicalCover(l)
+	want := MustParse(u, "A -> B; B -> C")
+	want.Sort()
+	if !reflect.DeepEqual(cov, want) {
+		t.Errorf("cover = %s", cov.Format(u))
+	}
+	if !Equivalent(cov, l) {
+		t.Error("cover not equivalent to original")
+	}
+}
+
+func TestCanonicalCoverReducesLHS(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A -> B; A B -> C")
+	cov := CanonicalCover(l)
+	want := MustParse(u, "A -> B; A -> C")
+	want.Sort()
+	if !reflect.DeepEqual(cov, want) {
+		t.Errorf("cover = %s", cov.Format(u))
+	}
+}
+
+func TestNonredundantCover(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A -> B; B -> C; A -> C")
+	nr := NonredundantCover(l)
+	if len(nr) != 2 {
+		t.Errorf("nonredundant size = %d: %s", len(nr), nr.Format(u))
+	}
+	if !Equivalent(nr, l) {
+		t.Error("not equivalent")
+	}
+}
+
+func TestDerive(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A -> B; B -> C; C -> D; A -> E")
+	d, ok := Derive(l, u.Set("A"), u.MustIndex("D"))
+	if !ok {
+		t.Fatal("derivation must exist")
+	}
+	// Must use exactly A->B, B->C, C->D, not A->E.
+	want := MustParse(u, "A -> B; B -> C; C -> D")
+	if !reflect.DeepEqual(d, want) {
+		t.Errorf("derivation = %s", d.Format(u))
+	}
+}
+
+func TestDeriveTrivialAndMissing(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A -> B")
+	if d, ok := Derive(l, u.Set("A"), u.MustIndex("A")); !ok || len(d) != 0 {
+		t.Error("trivial derivation must be empty and ok")
+	}
+	if _, ok := Derive(l, u.Set("A"), u.MustIndex("C")); ok {
+		t.Error("underivable attribute must report !ok")
+	}
+}
+
+func TestDeriveNonredundant(t *testing.T) {
+	u := uni()
+	// Two routes to D: the pruner must keep only one.
+	l := MustParse(u, "A -> B; B -> D; A -> C; C -> D")
+	d, ok := Derive(l, u.Set("A"), u.MustIndex("D"))
+	if !ok {
+		t.Fatal("derivation must exist")
+	}
+	if len(d) != 2 {
+		t.Errorf("derivation should have 2 steps, got %s", d.Format(u))
+	}
+}
+
+func TestCandidateKeys(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A -> B; B -> A; A -> C")
+	keys := CandidateKeys(l, u.Set("A", "B", "C"), 0)
+	want := []attrset.Set{u.Set("A"), u.Set("B")}
+	attrset.SortSets(want)
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestCandidateKeysComposite(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A B -> C")
+	keys := CandidateKeys(l, u.Set("A", "B", "C"), 0)
+	if len(keys) != 1 || keys[0] != u.Set("A", "B") {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestProjectionCover(t *testing.T) {
+	u := uni()
+	// Transitive FD through an attribute outside the scheme.
+	l := MustParse(u, "A -> B; B -> C")
+	proj, complete := ProjectionCover(l, u.Set("A", "C"), 0)
+	if !complete {
+		t.Fatal("projection must complete")
+	}
+	if !Implies(proj, FD{LHS: u.Set("A"), RHS: u.Set("C")}) {
+		t.Errorf("projection must imply A->C, got %s", proj.Format(u))
+	}
+	for _, f := range proj {
+		if !f.EmbeddedIn(u.Set("A", "C")) {
+			t.Errorf("projected FD %s not embedded", f.Format(u))
+		}
+	}
+}
+
+func TestMergeByLHS(t *testing.T) {
+	u := uni()
+	l := MustParse(u, "A -> B; A -> C; B -> D")
+	m := MergeByLHS(l)
+	if len(m) != 2 {
+		t.Fatalf("merged = %s", m.Format(u))
+	}
+	if !Equivalent(m, l) {
+		t.Error("merge changed semantics")
+	}
+}
+
+// genList builds a random FD list over nAttrs attributes.
+func genList(r *rand.Rand, nAttrs, nFDs int) List {
+	var l List
+	for i := 0; i < nFDs; i++ {
+		var lhs, rhs attrset.Set
+		for j := 0; j < 1+r.Intn(2); j++ {
+			lhs.Add(r.Intn(nAttrs))
+		}
+		rhs.Add(r.Intn(nAttrs))
+		l = append(l, FD{LHS: lhs, RHS: rhs})
+	}
+	return l
+}
+
+func TestQuickClosureProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		l := genList(r, 8, 5)
+		var x attrset.Set
+		for j := 0; j < r.Intn(4); j++ {
+			x.Add(r.Intn(8))
+		}
+		c := Closure(l, x)
+		if !x.SubsetOf(c) {
+			t.Fatal("closure not extensive")
+		}
+		if Closure(l, c) != c {
+			t.Fatal("closure not idempotent")
+		}
+		y := x.With(r.Intn(8))
+		if !c.SubsetOf(Closure(l, y)) {
+			t.Fatal("closure not monotone")
+		}
+	}
+}
+
+func TestQuickCanonicalCoverEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		l := genList(r, 7, 6)
+		cov := CanonicalCover(l)
+		if !Equivalent(cov, l) {
+			t.Fatalf("canonical cover not equivalent: %v vs %v", cov, l)
+		}
+	}
+}
+
+func TestQuickIntersectionOfClosedIsClosed(t *testing.T) {
+	// Used implicitly by the paper's Lemma 6.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		l := genList(r, 8, 6)
+		x := Closure(l, attrset.Of(r.Intn(8)))
+		y := Closure(l, attrset.Of(r.Intn(8)))
+		inter := x.Intersect(y)
+		if Closure(l, inter) != inter {
+			t.Fatal("intersection of closed sets must be closed")
+		}
+	}
+}
+
+func TestQuickDeriveMatchesClosure(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		l := genList(r, 8, 6).Split()
+		var x attrset.Set
+		x.Add(r.Intn(8))
+		a := r.Intn(8)
+		d, ok := Derive(l, x, a)
+		if ok != Closure(l, x).Has(a) {
+			t.Fatal("Derive existence disagrees with Closure")
+		}
+		if ok && !x.Has(a) {
+			// Replaying the derivation must reach a.
+			cur := x
+			for _, f := range d {
+				if !f.LHS.SubsetOf(cur) {
+					t.Fatal("derivation step lhs not satisfied in order")
+				}
+				cur = cur.Union(f.RHS)
+			}
+			if !cur.Has(a) {
+				t.Fatal("derivation does not reach target")
+			}
+		}
+	}
+}
+
+func TestQuickSetGeneratorCompiles(t *testing.T) {
+	// Ensure testing/quick is exercised in this package too.
+	f := func(x uint8) bool {
+		s := attrset.Of(int(x) % attrset.MaxAttrs)
+		return s.Len() == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

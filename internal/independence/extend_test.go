@@ -1,0 +1,162 @@
+package independence
+
+import (
+	"math/rand"
+	"testing"
+
+	"indep/internal/chase"
+	"indep/internal/fd"
+	"indep/internal/infer"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+func exampleTwo(t *testing.T) (*schema.Schema, fd.List, infer.AssignedList) {
+	t.Helper()
+	s := schema.MustParse("CT(C,T); CS(C,S); CHR(C,H,R)")
+	fds := fd.MustParse(s.U, "C -> T; C H -> R")
+	cover, ok, _ := infer.ExtractCover(s, fds)
+	if !ok {
+		t.Fatal("Example 2 embeds its cover")
+	}
+	return s, fds, cover
+}
+
+func TestPrepareExtensionAcceptsExample2(t *testing.T) {
+	s, _, cover := exampleTwo(t)
+	for l := range s.Rels {
+		ar, rej := PrepareExtension(s, cover, l)
+		if rej != nil {
+			t.Fatalf("Example 2 must accept for %s: %v", s.Name(l), rej)
+		}
+		if ar.Scheme() != l {
+			t.Fatal("Scheme() wrong")
+		}
+		if !s.Attrs(l).SubsetOf(ar.Available()) {
+			t.Fatal("scheme attributes must be available")
+		}
+	}
+}
+
+func TestPrepareExtensionRejectsExample1(t *testing.T) {
+	s := schema.MustParse("CD(C,D); CT(C,T); TD(T,D)")
+	fds := fd.MustParse(s.U, "C -> D; C -> T; T -> D")
+	cover, _, _ := infer.ExtractCover(s, fds)
+	if _, rej := PrepareExtension(s, cover, s.IndexOf("CD")); rej == nil {
+		t.Fatal("Example 1 must reject")
+	}
+}
+
+func TestExtendTupleComputesDeterminedValues(t *testing.T) {
+	s, _, cover := exampleTwo(t)
+	// Analyze CS; a CS tuple (C, S) determines T through the CT relation.
+	cs := s.IndexOf("CS")
+	ar, rej := PrepareExtension(s, cover, cs)
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	st := relation.NewState(s)
+	st.Add("CT", relation.Tuple{1, 42}) // course 1 taught by 42
+	st.Add("CS", relation.Tuple{1, 7})  // student 7 takes course 1
+	ext, determined := ar.ExtendTuple(st, relation.Tuple{1, 7})
+	tIdx := s.U.MustIndex("T")
+	if !determined.Has(tIdx) {
+		t.Fatalf("T must be determined; determined = %s", s.U.Format(determined, " "))
+	}
+	if ext[tIdx] != 42 {
+		t.Fatalf("ī[T] = %d, want 42", ext[tIdx])
+	}
+	// H and R are not determined by a CS tuple: placeholders are negative.
+	for _, name := range []string{"H", "R"} {
+		i := s.U.MustIndex(name)
+		if determined.Has(i) || ext[i] >= 0 {
+			t.Fatalf("%s must be undetermined (got %d)", name, ext[i])
+		}
+	}
+}
+
+func TestExtendTupleAgreesWithChase(t *testing.T) {
+	// Lemma 10 / Theorem 5: the valuation-computed extension of a tuple
+	// agrees with what the FD-chase of the padded state derives for that
+	// tuple's row.
+	s, fds, cover := exampleTwo(t)
+	cs := s.IndexOf("CS")
+	ar, rej := PrepareExtension(s, cover, cs)
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	r := rand.New(rand.NewSource(30))
+	for iter := 0; iter < 50; iter++ {
+		st := relation.NewState(s)
+		for i := 0; i < 3; i++ {
+			c := relation.Value(r.Intn(3))
+			st.Add("CT", relation.Tuple{c, c*10 + 100})
+			st.Add("CHR", relation.Tuple{c, relation.Value(r.Intn(2)), c*100 + 1000})
+		}
+		target := relation.Tuple{relation.Value(r.Intn(3)), 7}
+		st.Add("CS", target.Clone())
+		// The state is locally satisfying by construction (T and R are
+		// functions of C resp. CH).
+		ext, determined := ar.ExtendTuple(st, target)
+
+		// Chase the padded state and locate the CS row.
+		e := chase.NewEngine(s.U)
+		e.PadState(st)
+		if err := e.ChaseFDs(fds.Split(), chase.DefaultCaps); err != nil {
+			t.Fatal(err)
+		}
+		w := e.WeakInstance()
+		csAttrs := s.Attrs(cs)
+		var chasedRow relation.Tuple
+		for _, row := range w.Tuples {
+			match := true
+			for j, a := range csAttrs.Attrs() {
+				if row[a] != target[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				chasedRow = row
+				break
+			}
+		}
+		if chasedRow == nil {
+			t.Fatal("chased CS row not found")
+		}
+		determined.ForEach(func(a int) bool {
+			if chasedRow[a] >= 0 && chasedRow[a] != ext[a] {
+				t.Fatalf("extension disagrees with chase at %s: %d vs %d",
+					s.U.Name(a), ext[a], chasedRow[a])
+			}
+			return true
+		})
+	}
+}
+
+func TestCompleteYieldsSatisfyingState(t *testing.T) {
+	// Completing a dangling tuple must keep the state locally satisfying
+	// and, per Theorem 5's induction, not create contradictions.
+	s, fds, cover := exampleTwo(t)
+	cs := s.IndexOf("CS")
+	ar, rej := PrepareExtension(s, cover, cs)
+	if rej != nil {
+		t.Fatal(rej)
+	}
+	st := relation.NewState(s)
+	st.Add("CT", relation.Tuple{1, 42})
+	st.Add("CS", relation.Tuple{1, 7}) // dangling: no CHR partner
+	out := ar.Complete(st, relation.Tuple{1, 7})
+	ok, _, err := chase.LocallySatisfies(out, fds, true, chase.DefaultCaps)
+	if err != nil || !ok {
+		t.Fatalf("completed state must stay locally satisfying (err=%v):\n%s", err, out)
+	}
+	okG, err := chase.Satisfies(out, fds, true, chase.DefaultCaps)
+	if err != nil || !okG {
+		t.Fatalf("completed state must satisfy (err=%v):\n%s", err, out)
+	}
+	// The completed CS tuple now has join partners everywhere.
+	if out.Insts[s.IndexOf("CHR")].Len() != 1 {
+		t.Fatalf("CHR must have gained the extension row:\n%s", out)
+	}
+}

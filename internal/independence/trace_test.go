@@ -1,0 +1,90 @@
+package independence
+
+import (
+	"testing"
+
+	"indep/internal/infer"
+)
+
+// White-box fidelity test: the Loop's iteration trace on the recovered
+// Example 3 must follow the paper's narrative exactly.
+func TestExample3TraceFollowsPaper(t *testing.T) {
+	s, fds := example3()
+	cover, ok, _ := infer.ExtractCover(s, fds)
+	if !ok {
+		t.Fatal("cover-embedding expected")
+	}
+	rej, trace := RunLoop(s, cover, s.IndexOf("R1"))
+	if rej == nil {
+		t.Fatal("must reject")
+	}
+	u := s.U
+	fmtSet := func(i int) string { return u.Format(trace[i].LHS, "") }
+
+	// Paper: "Suppose that we pick A1 at line 1; E({A1}) contains only
+	// {A1}; W({A1}) is empty. Thus (A1)*old = {A1}, and (A1)*new = {A2}."
+	if len(trace) < 3 {
+		t.Fatalf("trace too short: %d iterations", len(trace))
+	}
+	if fmtSet(0) != "A1" {
+		t.Fatalf("iteration 1 picked %s, want A1", fmtSet(0))
+	}
+	if len(trace[0].Equiv) != 0 || len(trace[0].Weaker) != 0 {
+		t.Fatalf("iteration 1: E and W must be empty: %+v", trace[0])
+	}
+	if got := u.Format(trace[0].StarNew, ""); got != "A2" {
+		t.Fatalf("(A1)*new = %s, want A2", got)
+	}
+
+	// "In the next iteration we pick the l.h.s. B1 and B2 becomes
+	// available."
+	if fmtSet(1) != "B1" {
+		t.Fatalf("iteration 2 picked %s, want B1", fmtSet(1))
+	}
+	if got := u.Format(trace[1].StarNew, ""); got != "B2" {
+		t.Fatalf("(B1)*new = %s, want B2", got)
+	}
+
+	// "Now the available l.h.s. are A1B1 again, and A2B2", equivalent to
+	// each other. Our deterministic picker takes A1B1; the paper's
+	// analysis: E(A1B1) = {A2B2}, W = {A1, B1},
+	// (A1B1)*old = A1 A2 B1 B2, (A1B1)*new = {C}; rejection at line 5.
+	last := trace[len(trace)-1]
+	if got := u.Format(last.LHS, ""); got != "A1B1" {
+		t.Fatalf("final pick = %s, want A1B1", got)
+	}
+	if len(last.Equiv) != 1 || u.Format(last.Equiv[0], "") != "A2B2" {
+		t.Fatalf("E(A1B1) = %v, want {A2B2}", last.Equiv)
+	}
+	if len(last.Weaker) != 2 {
+		t.Fatalf("W(A1B1) must be {A1, B1}: %v", last.Weaker)
+	}
+	if got := u.Format(last.StarOld, ""); got != "A1B1A2B2" {
+		t.Fatalf("(A1B1)*old = %s, want A1B1A2B2", got)
+	}
+	if got := u.Format(last.StarNew, ""); got != "C" {
+		t.Fatalf("(A1B1)*new = %s, want C", got)
+	}
+	if rej.Site != RejectLine5 {
+		t.Fatalf("rejection site = %s, want line 5", rej.Site)
+	}
+}
+
+// The Example 2 trace accepts after propagating T through {C} of CT.
+func TestExample2TraceForCS(t *testing.T) {
+	s, fds, cover := exampleTwo(t)
+	_ = fds
+	rej, trace := RunLoop(s, cover, s.IndexOf("CS"))
+	if rej != nil {
+		t.Fatalf("Example 2 must accept: %v", rej)
+	}
+	if len(trace) != 1 {
+		t.Fatalf("expected exactly one productive iteration, got %d", len(trace))
+	}
+	if got := s.U.Format(trace[0].LHS, ""); got != "C" {
+		t.Fatalf("picked %s, want C", got)
+	}
+	if got := s.U.Format(trace[0].StarNew, ""); got != "T" {
+		t.Fatalf("new = %s, want T", got)
+	}
+}

@@ -1,0 +1,163 @@
+package independence
+
+import (
+	"sort"
+
+	"indep/internal/attrset"
+	"indep/internal/fd"
+	"indep/internal/infer"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// WitnessKind names the construction used to produce a counterexample
+// state.
+type WitnessKind string
+
+const (
+	// WitnessLemma3 is the two-tuple state showing that a schema that does
+	// not embed a cover of the implied FDs is not independent.
+	WitnessLemma3 WitnessKind = "lemma-3"
+	// WitnessLemma7 is the derivation-image state showing that a
+	// cross-relation nonredundant derivation breaks independence.
+	WitnessLemma7 WitnessKind = "lemma-7"
+	// WitnessTheorem4 is the σ-image of T(X) ∪ T(A) ∪ {R_l-row} built at a
+	// Loop rejection.
+	WitnessTheorem4 WitnessKind = "theorem-4"
+)
+
+// Lemma3Witness builds the paper's Lemma 3 counterexample for an FD
+// f: X → A of F that is not implied by the embedded FDs G|D: a two-tuple
+// universal instance agreeing exactly on cl_{G|D}(X), projected onto the
+// schema. The state is locally satisfying but violates f ∈ Σ globally.
+func Lemma3Witness(s *schema.Schema, fds fd.List, f fd.FD) *relation.State {
+	closed, _ := infer.ClosureEmbedded(s, fds, f.LHS)
+	u := relation.NewInstance(s.U.All())
+	n := s.U.Size()
+	t1 := make(relation.Tuple, n)
+	t2 := make(relation.Tuple, n)
+	fresh := relation.Value(2)
+	for c := 0; c < n; c++ {
+		t1[c] = 0
+		if closed.Has(c) {
+			t2[c] = 0
+		} else {
+			t2[c] = fresh
+			fresh++
+		}
+	}
+	u.Add(t1)
+	u.Add(t2)
+	return relation.ProjectOnto(s, u)
+}
+
+// Lemma7Witness builds the paper's Lemma 7 counterexample from a
+// nonredundant derivation of (R_i − A) → A that uses only FDs assigned to
+// other schemes. Relation r_i holds a single tuple that is 0 everywhere
+// except 1 at A; every derivation FD Y → B contributes to its home scheme
+// R_j a tuple with 0s exactly on cl_F(Y) ∩ R_j and fresh constants
+// elsewhere (a closed zero-set, so Lemma 6 gives local satisfaction).
+func Lemma7Witness(s *schema.Schema, cover infer.AssignedList, schemeIdx, attr int, deriv fd.List) *relation.State {
+	st := relation.NewState(s)
+	full := cover.List()
+
+	// The single tuple of r_i.
+	attrs := s.Attrs(schemeIdx).Attrs()
+	ti := make(relation.Tuple, len(attrs))
+	for j, a := range attrs {
+		if a == attr {
+			ti[j] = 1
+		} else {
+			ti[j] = 0
+		}
+	}
+	st.Insts[schemeIdx].Add(ti)
+
+	fresh := relation.Value(2)
+	for _, g := range deriv {
+		home := homeScheme(cover, schemeIdx, g)
+		if home < 0 {
+			continue // defensive: derivation FD not found in the cover
+		}
+		zeros := fd.Closure(full, g.LHS).Intersect(s.Attrs(home))
+		cols := s.Attrs(home).Attrs()
+		t := make(relation.Tuple, len(cols))
+		for j, a := range cols {
+			if zeros.Has(a) {
+				t[j] = 0
+			} else {
+				t[j] = fresh
+				fresh++
+			}
+		}
+		st.Insts[home].Add(t)
+	}
+	return st
+}
+
+// homeScheme finds an assignment of g to a scheme other than exclude: the
+// cover FD with the same LHS whose RHS covers g's.
+func homeScheme(cover infer.AssignedList, exclude int, g fd.FD) int {
+	for _, a := range cover {
+		if a.Scheme != exclude && a.LHS == g.LHS && g.RHS.SubsetOf(a.RHS) {
+			return a.Scheme
+		}
+	}
+	return -1
+}
+
+// Theorem4Witness builds the counterexample state of Theorem 4 (Case 1;
+// Case 2 reduces to it) from a Loop rejection: the σ-image of
+// T = T(X) ∪ T(A) ∪ {all-dv row over R_l tagged R_l}, where σ sends every
+// ndv to a fresh constant and every dv to 0 — except the dvs of the
+// X*_new columns of the X*-row of T(X), which go to 1.
+func Theorem4Witness(s *schema.Schema, rej *Rejection) *relation.State {
+	if rej.Attr < 0 {
+		return nil
+	}
+	type rowKey struct {
+		tag int
+		dvs attrset.Set
+	}
+	starRow := rowKey{tag: rej.Scheme, dvs: rej.Star}
+	rows := make(map[rowKey]bool)
+	for _, r := range rej.TabLHS {
+		rows[rowKey{r.Tag, r.DVs}] = true
+	}
+	for _, r := range rej.TabAttr {
+		rows[rowKey{r.Tag, r.DVs}] = true
+	}
+	rows[rowKey{tag: rej.Analyzed, dvs: s.Attrs(rej.Analyzed)}] = true
+
+	// Deterministic order.
+	keys := make([]rowKey, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tag != keys[j].tag {
+			return keys[i].tag < keys[j].tag
+		}
+		return attrset.Less(keys[i].dvs, keys[j].dvs)
+	})
+
+	st := relation.NewState(s)
+	fresh := relation.Value(2)
+	for _, k := range keys {
+		cols := s.Attrs(k.tag).Attrs()
+		t := make(relation.Tuple, len(cols))
+		for j, a := range cols {
+			switch {
+			case k.dvs.Has(a) && k == starRow && rej.StarNew.Has(a):
+				t[j] = 1
+			case k.dvs.Has(a):
+				t[j] = 0
+			default:
+				t[j] = fresh
+				fresh++
+			}
+		}
+		st.Insts[k.tag].Add(t)
+	}
+	return st
+}

@@ -1,0 +1,263 @@
+package infer
+
+import (
+	"math/rand"
+	"testing"
+
+	"indep/internal/attrset"
+	"indep/internal/chase"
+	"indep/internal/fd"
+	"indep/internal/schema"
+)
+
+func TestClosurePlainFDsMatch(t *testing.T) {
+	// With a single scheme covering U, the JD adds nothing: cl_Σ = cl_F.
+	s := schema.MustParse("R(A,B,C,D)")
+	fds := fd.MustParse(s.U, "A -> B; B -> C")
+	got := Closure(s, fds, s.U.Set("A"))
+	want := fd.Closure(fds, s.U.Set("A"))
+	if got != want {
+		t.Fatalf("closure = %s, want %s", s.U.Format(got, " "), s.U.Format(want, " "))
+	}
+}
+
+func TestClosureJDInteraction(t *testing.T) {
+	// The hand-verified case from internal/chase: {AY, AB}, Y→B gives
+	// A→B only because of the join dependency.
+	s := schema.MustParse("R1(A,Y); R2(A,B)")
+	fds := fd.MustParse(s.U, "Y -> B")
+	got := Closure(s, fds, s.U.Set("A"))
+	if got != s.U.Set("A", "B") {
+		t.Fatalf("cl_Σ(A) = %s, want A B", s.U.Format(got, " "))
+	}
+	// And without the dependency structure, closure stays put.
+	if c := Closure(s, fds, s.U.Set("B")); c != s.U.Set("B") {
+		t.Fatalf("cl_Σ(B) = %s, want B", s.U.Format(c, " "))
+	}
+}
+
+func TestLemma1EmbeddedFDsNoJDEffect(t *testing.T) {
+	// Lemma 1: for FDs embedded in D, F ⊨ f iff F ∪ {*D} ⊨ f, so the
+	// closures agree on every X.
+	s := schema.MustParse("R1(A,B); R2(B,C); R3(A,C)")
+	fds := fd.MustParse(s.U, "A -> B; B -> C")
+	for mask := 0; mask < 8; mask++ {
+		var x attrset.Set
+		for i := 0; i < 3; i++ {
+			if mask&(1<<i) != 0 {
+				x.Add(i)
+			}
+		}
+		if Closure(s, fds, x) != fd.Closure(fds, x) {
+			t.Fatalf("Lemma 1 violated at X = %s", s.U.Format(x, " "))
+		}
+	}
+}
+
+// randSchema builds a random covering schema and FD list over n attributes.
+func randSchema(r *rand.Rand, n int) (*schema.Schema, fd.List) {
+	u := attrset.NewUniverse()
+	for i := 0; i < n; i++ {
+		u.Add(string(rune('A' + i)))
+	}
+	k := 2 + r.Intn(3)
+	var rels []schema.Rel
+	var covered attrset.Set
+	for i := 0; i < k; i++ {
+		var a attrset.Set
+		for j := 0; j < 1+r.Intn(3); j++ {
+			a.Add(r.Intn(n))
+		}
+		if a.IsEmpty() {
+			a.Add(r.Intn(n))
+		}
+		covered = covered.Union(a)
+		rels = append(rels, schema.Rel{Name: string(rune('P' + i)), Attrs: a})
+	}
+	missing := u.All().Diff(covered)
+	if !missing.IsEmpty() {
+		rels = append(rels, schema.Rel{Name: "Z", Attrs: missing})
+	}
+	s := schema.New(u, rels...)
+	var fds fd.List
+	for i := 0; i < 1+r.Intn(3); i++ {
+		var lhs attrset.Set
+		for j := 0; j < 1+r.Intn(2); j++ {
+			lhs.Add(r.Intn(n))
+		}
+		rhs := attrset.Of(r.Intn(n))
+		if rhs.SubsetOf(lhs) {
+			continue
+		}
+		fds = append(fds, fd.FD{LHS: lhs, RHS: rhs})
+	}
+	return s, fds
+}
+
+func TestQuickClosureMatchesChaseOracle(t *testing.T) {
+	// The heart of Section 3: the polynomial component-based closure must
+	// agree with the exponential two-row FD+JD chase on random inputs.
+	r := rand.New(rand.NewSource(42))
+	checked := 0
+	for i := 0; i < 400; i++ {
+		s, fds := randSchema(r, 4+r.Intn(2))
+		var x attrset.Set
+		x.Add(r.Intn(s.U.Size()))
+		if r.Intn(2) == 0 {
+			x.Add(r.Intn(s.U.Size()))
+		}
+		fast := Closure(s, fds, x)
+		slow, err := chase.ClosureFD(s, fds, x, true, chase.DefaultCaps)
+		if err != nil {
+			continue // budget: skip, rare at this size
+		}
+		checked++
+		if fast != slow {
+			t.Fatalf("closure mismatch on %s with %s: X=%s fast=%s chase=%s",
+				s, fds.Format(s.U), s.U.Format(x, " "),
+				s.U.Format(fast, " "), s.U.Format(slow, " "))
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("too few oracle comparisons completed: %d", checked)
+	}
+}
+
+func TestQuickClosureIsClosureOperator(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 300; i++ {
+		s, fds := randSchema(r, 5)
+		var x attrset.Set
+		x.Add(r.Intn(5))
+		c := Closure(s, fds, x)
+		if !x.SubsetOf(c) {
+			t.Fatal("not extensive")
+		}
+		if Closure(s, fds, c) != c {
+			t.Fatal("not idempotent")
+		}
+		y := x.With(r.Intn(5))
+		if !c.SubsetOf(Closure(s, fds, y)) {
+			t.Fatal("not monotone")
+		}
+	}
+}
+
+func TestClosureEmbeddedLemma5(t *testing.T) {
+	// Ground truth: enumerate every implied embedded FD and close under it.
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 60; i++ {
+		s, fds := randSchema(r, 4)
+		// Collect G|D by enumeration.
+		var gd fd.List
+		for _, rel := range s.Rels {
+			attrs := rel.Attrs.Attrs()
+			for mask := 0; mask < 1<<len(attrs); mask++ {
+				var y attrset.Set
+				for j, a := range attrs {
+					if mask&(1<<j) != 0 {
+						y.Add(a)
+					}
+				}
+				rhs := Closure(s, fds, y).Intersect(rel.Attrs).Diff(y)
+				if !rhs.IsEmpty() {
+					gd = append(gd, fd.FD{LHS: y, RHS: rhs})
+				}
+			}
+		}
+		var x attrset.Set
+		x.Add(r.Intn(4))
+		got, _ := ClosureEmbedded(s, fds, x)
+		want := fd.Closure(gd, x)
+		if got != want {
+			t.Fatalf("Lemma 5 closure mismatch on %s / %s: X=%s got=%s want=%s",
+				s, fds.Format(s.U), s.U.Format(x, " "),
+				s.U.Format(got, " "), s.U.Format(want, " "))
+		}
+	}
+}
+
+func TestCoverEmbedsExample2(t *testing.T) {
+	// Paper Example 2: CT, CS, CHR with C→T, CH→R is cover-embedding;
+	// adding SH→R breaks condition (1).
+	s := schema.MustParse("CT(C,T); CS(C,S); CHR(C,H,R)")
+	fds := fd.MustParse(s.U, "C -> T; C H -> R")
+	ok, failing := CoverEmbeds(s, fds)
+	if !ok {
+		t.Fatalf("Example 2 must be cover-embedding; failing: %s", failing.Format(s.U))
+	}
+	fds2 := fd.MustParse(s.U, "C -> T; C H -> R; S H -> R")
+	ok, failing = CoverEmbeds(s, fds2)
+	if ok {
+		t.Fatal("Example 2 with SH->R must not be cover-embedding")
+	}
+	if len(failing) != 1 || failing[0].LHS != s.U.Set("S", "H") {
+		t.Fatalf("failing FDs = %s", failing.Format(s.U))
+	}
+}
+
+func TestExtractCoverProperties(t *testing.T) {
+	s := schema.MustParse("CT(C,T); CS(C,S); CHR(C,H,R)")
+	fds := fd.MustParse(s.U, "C -> T; C H -> R")
+	cover, ok, _ := ExtractCover(s, fds)
+	if !ok {
+		t.Fatal("must extract a cover")
+	}
+	// H is embedded per its assignments.
+	for _, a := range cover {
+		if !a.FD.EmbeddedIn(s.Attrs(a.Scheme)) {
+			t.Fatalf("cover FD %s not embedded in its scheme", a.FD.Format(s.U))
+		}
+	}
+	// H ⊨ F.
+	if !fd.ImpliesAll(cover.List(), fds) {
+		t.Fatal("cover must imply the original FDs")
+	}
+	// Each H-FD is implied by Σ.
+	for _, a := range cover {
+		if !Implies(s, fds, a.FD) {
+			t.Fatalf("cover FD %s not implied by Σ", a.FD.Format(s.U))
+		}
+	}
+}
+
+func TestQuickExtractCoverSizeBound(t *testing.T) {
+	// Paper: |H| ≤ |F|·|U| (for F split to single-attribute RHS).
+	r := rand.New(rand.NewSource(45))
+	for i := 0; i < 150; i++ {
+		s, fds := randSchema(r, 5)
+		cover, ok, _ := ExtractCover(s, fds)
+		if !ok {
+			continue
+		}
+		bound := len(fds.Split()) * s.U.Size()
+		if len(cover) > bound {
+			t.Fatalf("|H| = %d exceeds |F|·|U| = %d", len(cover), bound)
+		}
+		if !fd.ImpliesAll(cover.List(), fds) {
+			t.Fatalf("extracted cover does not imply F on %s / %s", s, fds.Format(s.U))
+		}
+	}
+}
+
+func TestAssignEmbedded(t *testing.T) {
+	s := schema.MustParse("CT(C,T); CHR(C,H,R)")
+	fds := fd.MustParse(s.U, "C -> T; C H -> R")
+	al, err := AssignEmbedded(s, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al[0].Scheme != 0 || al[1].Scheme != 1 {
+		t.Fatalf("assignments wrong: %s", al.Format(s))
+	}
+	if got := al.ForScheme(0).Format(s.U); got != "C -> T" {
+		t.Errorf("ForScheme(0) = %q", got)
+	}
+	if got := al.NotInScheme(0).Format(s.U); got != "C H -> R" {
+		t.Errorf("NotInScheme(0) = %q", got)
+	}
+	bad := fd.MustParse(s.U, "T -> H")
+	if _, err := AssignEmbedded(s, bad); err == nil {
+		t.Fatal("non-embedded FD must fail assignment")
+	}
+}

@@ -1,0 +1,178 @@
+// Package maintenance implements the paper's motivating application: the
+// maintenance problem. "If p is a state satisfying Σ, and p' results from a
+// simple modification of p (e.g., the insertion of a single tuple into a
+// single instance of p), is p' satisfying?"
+//
+// Theorem 1 shows no polynomial algorithm exists in general (unless P=NP);
+// the reduction is implemented in reduction.go. For independent schemas,
+// however, each relation's implied constraint set Σ_i is covered by the
+// embedded FDs F_i, so maintenance reduces to a per-relation FD check —
+// Guard implements it with hash indexes in O(|F_i|) per insert. For
+// arbitrary schemas ChaseMaintainer re-runs the weak-instance chase.
+package maintenance
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"indep/internal/chase"
+	"indep/internal/fd"
+	"indep/internal/independence"
+	"indep/internal/infer"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// ErrViolation is wrapped by errors describing a rejected insert.
+var ErrViolation = errors.New("maintenance: insert violates dependencies")
+
+// Maintainer answers the maintenance problem for single-tuple inserts.
+type Maintainer interface {
+	// Insert checks the tuple and, when admissible, adds it to the state.
+	// A wrapped ErrViolation means the new state would be unsatisfying.
+	Insert(scheme int, t relation.Tuple) error
+	// State returns the maintained state (shared, not a copy).
+	State() *relation.State
+}
+
+// Guard is the fast maintainer for independent schemas: it enforces, for
+// each relation R_i, the embedded FD cover F_i produced by the independence
+// decision procedure. By Theorem 3's corollary, F_i covers Σ_i when the
+// schema is independent, so this per-relation check is exactly the
+// maintenance problem. Each FD keeps a hash index from left-hand-side
+// values to the unique right-hand-side values, making inserts O(|F_i|).
+type Guard struct {
+	s   *schema.Schema
+	st  *relation.State
+	fds [][]guardFD // per scheme
+}
+
+type guardFD struct {
+	f       fd.FD
+	lhsCols []int
+	rhsCols []int
+	index   map[string]string
+}
+
+// NewGuard builds a guard from the schema and the per-scheme embedded cover
+// (the Cover field of an independent analysis result). The state starts
+// empty.
+func NewGuard(s *schema.Schema, cover infer.AssignedList) *Guard {
+	g := &Guard{s: s, st: relation.NewState(s), fds: make([][]guardFD, len(s.Rels))}
+	for i := range s.Rels {
+		cols := s.Attrs(i).Attrs()
+		at := make(map[int]int, len(cols))
+		for j, a := range cols {
+			at[a] = j
+		}
+		for _, f := range cover.ForScheme(i) {
+			gf := guardFD{f: f, index: make(map[string]string)}
+			f.LHS.ForEach(func(attr int) bool {
+				gf.lhsCols = append(gf.lhsCols, at[attr])
+				return true
+			})
+			f.RHS.Diff(f.LHS).ForEach(func(attr int) bool {
+				gf.rhsCols = append(gf.rhsCols, at[attr])
+				return true
+			})
+			if len(gf.rhsCols) > 0 {
+				g.fds[i] = append(g.fds[i], gf)
+			}
+		}
+	}
+	return g
+}
+
+func key(t relation.Tuple, cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%d|", int64(t[c]))
+	}
+	return b.String()
+}
+
+// Insert implements Maintainer. It is O(|F_i|) expected time per call.
+func (g *Guard) Insert(scheme int, t relation.Tuple) error {
+	if scheme < 0 || scheme >= len(g.fds) {
+		return fmt.Errorf("maintenance: no scheme %d", scheme)
+	}
+	fds := g.fds[scheme]
+	// First verify all FDs, then commit; a half-committed index would
+	// otherwise corrupt later checks.
+	keys := make([][2]string, len(fds))
+	for j, gf := range fds {
+		lk, rk := key(t, gf.lhsCols), key(t, gf.rhsCols)
+		if prev, ok := gf.index[lk]; ok && prev != rk {
+			return fmt.Errorf("%w: %s in %s", ErrViolation,
+				gf.f.Format(g.s.U), g.s.Name(scheme))
+		}
+		keys[j] = [2]string{lk, rk}
+	}
+	for j, gf := range fds {
+		gf.index[keys[j][0]] = keys[j][1]
+	}
+	g.st.Insts[scheme].Add(t)
+	return nil
+}
+
+// State implements Maintainer.
+func (g *Guard) State() *relation.State { return g.st }
+
+// ChaseMaintainer is the general maintainer: on every insert it re-chases
+// the whole state under F ∪ {*D}. Sound for any schema, but each insert
+// costs a full chase — exponential in the worst case (Theorem 1 says this
+// is unavoidable in general).
+type ChaseMaintainer struct {
+	s    *schema.Schema
+	fds  fd.List
+	st   *relation.State
+	jd   bool
+	caps chase.Caps
+}
+
+// NewChaseMaintainer builds a chase-based maintainer with an empty state.
+// Pass jd=false when every FD is embedded (Lemma 4 makes the join
+// dependency irrelevant, and the FD-only chase is polynomial).
+func NewChaseMaintainer(s *schema.Schema, fds fd.List, jd bool, caps chase.Caps) *ChaseMaintainer {
+	return &ChaseMaintainer{s: s, fds: fds, st: relation.NewState(s), jd: jd, caps: caps}
+}
+
+// Insert implements Maintainer by trial insertion and a full chase.
+func (m *ChaseMaintainer) Insert(scheme int, t relation.Tuple) error {
+	trial := m.st.Clone()
+	trial.Insts[scheme].Add(t)
+	ok, err := chase.Satisfies(trial, m.fds, m.jd, m.caps)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: chase found a contradiction", ErrViolation)
+	}
+	m.st.Insts[scheme].Add(t)
+	return nil
+}
+
+// State implements Maintainer.
+func (m *ChaseMaintainer) State() *relation.State { return m.st }
+
+// ForSchema picks the right maintainer for a schema: the O(|F_i|) Guard
+// when the independence decision procedure accepts, otherwise the chase
+// maintainer. The boolean reports which one was chosen.
+func ForSchema(s *schema.Schema, fds fd.List, caps chase.Caps) (Maintainer, bool, error) {
+	res, err := independence.Decide(s, fds)
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Independent {
+		return NewGuard(s, res.Cover), true, nil
+	}
+	embedded := true
+	for _, f := range fds {
+		if !s.Embeds(f.Attrs()) {
+			embedded = false
+			break
+		}
+	}
+	return NewChaseMaintainer(s, fds, !embedded, caps), false, nil
+}

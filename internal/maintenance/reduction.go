@@ -1,0 +1,135 @@
+package maintenance
+
+import (
+	"fmt"
+
+	"indep/internal/attrset"
+	"indep/internal/fd"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// Reduction is an instance of the paper's Theorem 1 construction: a
+// maintenance-problem instance (p, p', D, F) such that p satisfies
+// Σ = F ∪ {*D}, p' is p with the single tuple Inserted added to the last
+// relation, and p' is satisfying iff t ∉ π_X[*π_{R_i}(r)] — the
+// NP-complete tuple-membership-in-join problem of [Y]. Deciding the
+// maintenance problem therefore decides join membership.
+type Reduction struct {
+	Schema   *schema.Schema
+	FDs      fd.List
+	P        *relation.State // the satisfying base state
+	Inserted relation.Tuple  // the tuple whose insertion is in question
+	Last     int             // index of the scheme receiving the insert
+}
+
+// BuildReduction constructs the Theorem 1 instance from a universal
+// relation r over the original universe, a database schema given as
+// attribute sets over that universe, a target tuple t over the attribute
+// set x. Two fresh attributes A and B are appended: A joins every scheme,
+// B only the last, and F = {X → B}.
+func BuildReduction(u *attrset.Universe, r *relation.Instance, schemes []attrset.Set, x attrset.Set, t relation.Tuple) (*Reduction, error) {
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("maintenance: reduction needs at least one scheme")
+	}
+	if r.Attrs != u.All() {
+		return nil, fmt.Errorf("maintenance: r must be a universal relation")
+	}
+	n := u.Size()
+
+	// New universe U' = U ∪ {A, B}.
+	u2 := attrset.NewUniverse()
+	for i := 0; i < n; i++ {
+		u2.Add(u.Name(i))
+	}
+	aIdx := u2.Add("_A")
+	bIdx := u2.Add("_B")
+
+	// D = {R_1 A, …, R_{k−1} A, R_k A B}.
+	var rels []schema.Rel
+	for i, rs := range schemes {
+		attrs := rs.With(aIdx)
+		if i == len(schemes)-1 {
+			attrs = attrs.With(bIdx)
+		}
+		rels = append(rels, schema.Rel{Name: fmt.Sprintf("R%d", i+1), Attrs: attrs})
+	}
+	s2 := schema.New(u2, rels...)
+	if err := s2.Validate(); err != nil {
+		return nil, err
+	}
+
+	// F = {X → B}.
+	fds := fd.List{{LHS: x, RHS: attrset.Of(bIdx)}}
+
+	// Constants: a = 0, b = 1; fresh values must avoid r's values, so start
+	// beyond the maximum value in r and t.
+	const aVal, bVal = relation.Value(1_000_000), relation.Value(1_000_001)
+	fresh := relation.Value(2_000_000)
+
+	// s = r extended with A=a, B=b on every tuple; t1 = t extended with
+	// fresh values on U−X, A=a, B fresh.
+	ext := relation.NewInstance(u2.All())
+	for _, tu := range r.Tuples {
+		row := make(relation.Tuple, n+2)
+		copy(row, tu)
+		row[aIdx] = aVal
+		row[bIdx] = bVal
+		ext.Add(row)
+	}
+	t1 := make(relation.Tuple, n+2)
+	xCols := x.Attrs()
+	if len(xCols) != len(t) {
+		return nil, fmt.Errorf("maintenance: tuple arity %d does not match |X|=%d", len(t), len(xCols))
+	}
+	for c := 0; c < n; c++ {
+		t1[c] = fresh
+		fresh++
+	}
+	for i, c := range xCols {
+		t1[c] = t[i]
+	}
+	t1[aIdx] = aVal
+	t1[bIdx] = fresh
+
+	// p: the first k−1 relations are projections of s1 = s ∪ {t1}; the last
+	// is the projection of s alone.
+	last := len(rels) - 1
+	p := relation.NewState(s2)
+	s1 := ext.Clone()
+	s1.Add(t1)
+	for i := range rels {
+		src := s1
+		if i == last {
+			src = ext
+		}
+		p.Insts[i] = src.Project(rels[i].Attrs)
+	}
+
+	// The candidate insert is t1 projected on the last scheme.
+	insTuple := make(relation.Tuple, 0, rels[last].Attrs.Len())
+	for _, c := range rels[last].Attrs.Attrs() {
+		insTuple = append(insTuple, t1[c])
+	}
+
+	return &Reduction{Schema: s2, FDs: fds, P: p, Inserted: insTuple, Last: last}, nil
+}
+
+// MemberOfJoin answers the underlying NP-complete question directly (by
+// computing the join): is t ∈ π_X[*π_{R_i}(r)]? Exponential in general;
+// used as the oracle in tests and experiments.
+func MemberOfJoin(r *relation.Instance, schemes []attrset.Set, x attrset.Set, t relation.Tuple) bool {
+	var acc *relation.Instance
+	for _, rs := range schemes {
+		proj := r.Project(rs)
+		if acc == nil {
+			acc = proj
+		} else {
+			acc = relation.Join(acc, proj)
+		}
+	}
+	if acc == nil {
+		return false
+	}
+	return acc.Project(x).Has(t)
+}

@@ -1,0 +1,364 @@
+// Package relation implements relational instances and database states with
+// constant values: tuples, projection, natural join, and construction of
+// states as projections of universal instances.
+//
+// Values are integers; the optional Dict maps them to display names so the
+// paper's examples (CS402, Smith, …) read naturally.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indep/internal/attrset"
+	"indep/internal/schema"
+)
+
+// Value is a constant domain element.
+type Value int64
+
+// Dict maps values to human-readable names. The zero value is usable.
+type Dict struct {
+	names []string
+	index map[string]Value
+}
+
+// Value interns name and returns its value.
+func (d *Dict) Value(name string) Value {
+	if d.index == nil {
+		d.index = make(map[string]Value)
+	}
+	if v, ok := d.index[name]; ok {
+		return v
+	}
+	v := Value(len(d.names))
+	d.names = append(d.names, name)
+	d.index[name] = v
+	return v
+}
+
+// Name returns the display name of v, or its numeral if unnamed.
+func (d *Dict) Name(v Value) string {
+	if d != nil && v >= 0 && int(v) < len(d.names) {
+		return d.names[v]
+	}
+	return fmt.Sprintf("%d", int64(v))
+}
+
+// Tuple is a row of an instance. Its values are ordered by ascending
+// attribute index of the owning instance's scheme.
+type Tuple []Value
+
+// key encodes a tuple for dedup/set membership.
+func (t Tuple) key() string {
+	var b strings.Builder
+	for _, v := range t {
+		fmt.Fprintf(&b, "%d|", int64(v))
+	}
+	return b.String()
+}
+
+// Clone copies the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Instance is a set of tuples over a relation scheme.
+type Instance struct {
+	Attrs  attrset.Set
+	Tuples []Tuple
+	index  map[string]bool
+}
+
+// NewInstance creates an empty instance over the given scheme.
+func NewInstance(attrs attrset.Set) *Instance {
+	return &Instance{Attrs: attrs, index: make(map[string]bool)}
+}
+
+// Len returns the number of tuples.
+func (in *Instance) Len() int { return len(in.Tuples) }
+
+// Width returns the arity of the instance.
+func (in *Instance) Width() int { return in.Attrs.Len() }
+
+// Add inserts a tuple (deduplicating). It panics if the arity is wrong,
+// since that is always a programming error.
+func (in *Instance) Add(t Tuple) bool {
+	if len(t) != in.Width() {
+		panic(fmt.Sprintf("relation: tuple arity %d does not match scheme arity %d", len(t), in.Width()))
+	}
+	if in.index == nil {
+		in.index = make(map[string]bool)
+		for _, u := range in.Tuples {
+			in.index[u.key()] = true
+		}
+	}
+	k := t.key()
+	if in.index[k] {
+		return false
+	}
+	in.index[k] = true
+	in.Tuples = append(in.Tuples, t.Clone())
+	return true
+}
+
+// Has reports whether the tuple is present.
+func (in *Instance) Has(t Tuple) bool {
+	if in.index == nil {
+		in.index = make(map[string]bool)
+		for _, u := range in.Tuples {
+			in.index[u.key()] = true
+		}
+	}
+	return in.index[t.key()]
+}
+
+// Clone deep-copies the instance.
+func (in *Instance) Clone() *Instance {
+	out := NewInstance(in.Attrs)
+	for _, t := range in.Tuples {
+		out.Add(t)
+	}
+	return out
+}
+
+// pos returns, for each attribute of sub (ascending), its column position
+// within the scheme attrs (ascending order).
+func pos(attrs, sub attrset.Set) []int {
+	cols := attrs.Attrs()
+	colAt := make(map[int]int, len(cols))
+	for i, a := range cols {
+		colAt[a] = i
+	}
+	subAttrs := sub.Attrs()
+	out := make([]int, len(subAttrs))
+	for i, a := range subAttrs {
+		out[i] = colAt[a]
+	}
+	return out
+}
+
+// Project returns π_sub(in). sub must be a subset of the instance scheme.
+func (in *Instance) Project(sub attrset.Set) *Instance {
+	if !sub.SubsetOf(in.Attrs) {
+		panic("relation: projection target not a subset of the scheme")
+	}
+	cols := pos(in.Attrs, sub)
+	out := NewInstance(sub)
+	for _, t := range in.Tuples {
+		p := make(Tuple, len(cols))
+		for i, c := range cols {
+			p[i] = t[c]
+		}
+		out.Add(p)
+	}
+	return out
+}
+
+// Join returns the natural join of two instances.
+func Join(a, b *Instance) *Instance {
+	common := a.Attrs.Intersect(b.Attrs)
+	aCols := pos(a.Attrs, common)
+	bCols := pos(b.Attrs, common)
+	// Index b by its common-attribute key.
+	byKey := make(map[string][]Tuple)
+	for _, t := range b.Tuples {
+		var k strings.Builder
+		for _, c := range bCols {
+			fmt.Fprintf(&k, "%d|", int64(t[c]))
+		}
+		byKey[k.String()] = append(byKey[k.String()], t)
+	}
+	outAttrs := a.Attrs.Union(b.Attrs)
+	out := NewInstance(outAttrs)
+	outCols := outAttrs.Attrs()
+	aIdx := make(map[int]int)
+	for i, at := range a.Attrs.Attrs() {
+		aIdx[at] = i
+	}
+	bIdx := make(map[int]int)
+	for i, at := range b.Attrs.Attrs() {
+		bIdx[at] = i
+	}
+	for _, ta := range a.Tuples {
+		var k strings.Builder
+		for _, c := range aCols {
+			fmt.Fprintf(&k, "%d|", int64(ta[c]))
+		}
+		for _, tb := range byKey[k.String()] {
+			joined := make(Tuple, len(outCols))
+			for i, at := range outCols {
+				if j, ok := aIdx[at]; ok {
+					joined[i] = ta[j]
+				} else {
+					joined[i] = tb[bIdx[at]]
+				}
+			}
+			out.Add(joined)
+		}
+	}
+	return out
+}
+
+// Semijoin returns the tuples of a that join with some tuple of b.
+func Semijoin(a, b *Instance) *Instance {
+	common := a.Attrs.Intersect(b.Attrs)
+	bKeys := make(map[string]bool)
+	bCols := pos(b.Attrs, common)
+	for _, t := range b.Tuples {
+		var k strings.Builder
+		for _, c := range bCols {
+			fmt.Fprintf(&k, "%d|", int64(t[c]))
+		}
+		bKeys[k.String()] = true
+	}
+	aCols := pos(a.Attrs, common)
+	out := NewInstance(a.Attrs)
+	for _, t := range a.Tuples {
+		var k strings.Builder
+		for _, c := range aCols {
+			fmt.Fprintf(&k, "%d|", int64(t[c]))
+		}
+		if bKeys[k.String()] {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// State is a database state: one instance per scheme of a database schema.
+type State struct {
+	Schema *schema.Schema
+	Insts  []*Instance
+	Dict   *Dict // optional display dictionary
+}
+
+// NewState creates a state with empty instances for every scheme.
+func NewState(s *schema.Schema) *State {
+	st := &State{Schema: s, Insts: make([]*Instance, len(s.Rels)), Dict: &Dict{}}
+	for i, r := range s.Rels {
+		st.Insts[i] = NewInstance(r.Attrs)
+	}
+	return st
+}
+
+// Clone deep-copies the state (sharing the schema and dictionary).
+func (st *State) Clone() *State {
+	out := &State{Schema: st.Schema, Insts: make([]*Instance, len(st.Insts)), Dict: st.Dict}
+	for i, in := range st.Insts {
+		out.Insts[i] = in.Clone()
+	}
+	return out
+}
+
+// Add inserts a tuple into the named scheme's instance.
+func (st *State) Add(scheme string, t Tuple) {
+	i := st.Schema.IndexOf(scheme)
+	if i < 0 {
+		panic("relation: unknown scheme " + scheme)
+	}
+	st.Insts[i].Add(t)
+}
+
+// AddNamed inserts a tuple given as attribute-name → value-name pairs, using
+// the state's dictionary. All attributes of the scheme must be present.
+func (st *State) AddNamed(scheme string, vals map[string]string) {
+	i := st.Schema.IndexOf(scheme)
+	if i < 0 {
+		panic("relation: unknown scheme " + scheme)
+	}
+	attrs := st.Schema.Attrs(i).Attrs()
+	t := make(Tuple, len(attrs))
+	for j, a := range attrs {
+		name := st.Schema.U.Name(a)
+		v, ok := vals[name]
+		if !ok {
+			panic("relation: missing value for attribute " + name)
+		}
+		t[j] = st.Dict.Value(v)
+	}
+	st.Insts[i].Add(t)
+}
+
+// TupleCount returns the total number of tuples in the state.
+func (st *State) TupleCount() int {
+	n := 0
+	for _, in := range st.Insts {
+		n += in.Len()
+	}
+	return n
+}
+
+// Universal is an instance over the full universe.
+type Universal = Instance
+
+// ProjectOnto builds the state π_D(I) from a universal instance.
+func ProjectOnto(s *schema.Schema, universal *Instance) *State {
+	st := NewState(s)
+	for i, r := range s.Rels {
+		st.Insts[i] = universal.Project(r.Attrs)
+	}
+	return st
+}
+
+// JoinAll computes the natural join of all instances of the state (*p in the
+// paper's notation). Instances are joined in scheme order; the empty state
+// joins to an empty universal instance.
+func (st *State) JoinAll() *Instance {
+	var acc *Instance
+	for _, in := range st.Insts {
+		if acc == nil {
+			acc = in.Clone()
+			continue
+		}
+		acc = Join(acc, in)
+	}
+	if acc == nil {
+		acc = NewInstance(st.Schema.U.All())
+	}
+	return acc
+}
+
+// JoinConsistent reports whether the state is the set of projections of a
+// single universal instance, i.e. π_{R_i}(*p) = r_i for every scheme.
+func (st *State) JoinConsistent() bool {
+	j := st.JoinAll()
+	if j.Attrs != st.Schema.U.All() {
+		return false
+	}
+	for _, in := range st.Insts {
+		proj := j.Project(in.Attrs)
+		if proj.Len() != in.Len() {
+			return false
+		}
+		for _, t := range in.Tuples {
+			if !proj.Has(t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the state for debugging, one relation per line.
+func (st *State) String() string {
+	var b strings.Builder
+	for i, in := range st.Insts {
+		fmt.Fprintf(&b, "%s(%s):", st.Schema.Name(i), st.Schema.U.Format(in.Attrs, " "))
+		tuples := make([]string, 0, in.Len())
+		for _, t := range in.Tuples {
+			parts := make([]string, len(t))
+			for j, v := range t {
+				parts[j] = st.Dict.Name(v)
+			}
+			tuples = append(tuples, "("+strings.Join(parts, ",")+")")
+		}
+		sort.Strings(tuples)
+		b.WriteString(" " + strings.Join(tuples, " "))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

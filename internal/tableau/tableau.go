@@ -1,0 +1,177 @@
+// Package tableau implements the tagged tableaux of the paper's Section 4.
+//
+// A tagged tableau over universe U is an instance of U ∪ {Tag}: each column
+// holds either the column's unique distinguished variable (dv) or a
+// nondistinguished variable (ndv), and the tag names a relation scheme. The
+// tableaux the independence algorithm constructs have two structural
+// invariants (the paper's Observation): every row has dvs in a locally
+// closed set of attributes, and no ndv occurs twice. A row is therefore
+// fully described by its tag and its dv-set, and a tableau by a set of such
+// rows — which is the representation used here.
+//
+// The weakness preorder: T ≤ T' iff there is a symbol mapping, identity on
+// tags and dvs, taking every row of T to a row of T'. Under the invariants
+// this reduces to: for every row (i, S) of T there is a row (i, S') of T'
+// with S ⊆ S'.
+package tableau
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indep/internal/attrset"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// Row is a tableau row: its tag (a scheme index) and the set of columns
+// holding distinguished variables. All remaining columns hold unique
+// nondistinguished variables.
+type Row struct {
+	Tag int
+	DVs attrset.Set
+}
+
+// T is a tagged tableau: a duplicate-free set of rows.
+type T []Row
+
+// Add returns the tableau with the row added (no-op if present).
+func (t T) Add(r Row) T {
+	for _, x := range t {
+		if x == r {
+			return t
+		}
+	}
+	out := make(T, len(t)+1)
+	copy(out, t)
+	out[len(t)] = r
+	out.sort()
+	return out
+}
+
+// Union returns the union of two tableaux.
+func (t T) Union(o T) T {
+	out := t
+	for _, r := range o {
+		out = out.Add(r)
+	}
+	return out
+}
+
+func (t T) sort() {
+	sort.Slice(t, func(i, j int) bool {
+		if t[i].Tag != t[j].Tag {
+			return t[i].Tag < t[j].Tag
+		}
+		return attrset.Less(t[i].DVs, t[j].DVs)
+	})
+}
+
+// Has reports whether the row is present.
+func (t T) Has(r Row) bool {
+	for _, x := range t {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Leq reports T ≤ T': every row of t maps to a row of o with the same tag
+// and a superset dv-set.
+func Leq(t, o T) bool {
+	for _, r := range t {
+		ok := false
+		for _, x := range o {
+			if x.Tag == r.Tag && r.DVs.SubsetOf(x.DVs) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Lt reports T < T' (strictly weaker).
+func Lt(t, o T) bool { return Leq(t, o) && !Leq(o, t) }
+
+// Equiv reports T ≡ T'.
+func Equiv(t, o T) bool { return Leq(t, o) && Leq(o, t) }
+
+// DVsIn returns the set of columns in which some row of t has a dv.
+func (t T) DVsIn() attrset.Set {
+	var s attrset.Set
+	for _, r := range t {
+		s = s.Union(r.DVs)
+	}
+	return s
+}
+
+// Format renders the tableau with scheme names, e.g. "{CT:C T} {TD:T D}".
+func (t T) Format(s *schema.Schema) string {
+	parts := make([]string, len(t))
+	for i, r := range t {
+		parts[i] = fmt.Sprintf("{%s:%s}", s.Name(r.Tag), s.U.Format(r.DVs, " "))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Valuation is an assignment of values to distinguished variables (keyed by
+// column) witnessing that a tableau maps into a state.
+type Valuation map[int]relation.Value
+
+// FindValuation searches for a valuation from the tableau to the state that
+// agrees with the partial assignment anchor (column → required dv value):
+// a choice of values for the dvs, extending anchor, such that every row
+// (i, S) matches some tuple of the state's i-th relation on the columns
+// S ∩ R_i. Nondistinguished variables are unconstrained and need no
+// assignment. The search backtracks over rows; tableaux here are tiny.
+func FindValuation(t T, st *relation.State, anchor Valuation) (Valuation, bool) {
+	assign := make(Valuation, len(anchor))
+	for k, v := range anchor {
+		assign[k] = v
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(t) {
+			return true
+		}
+		row := t[i]
+		inst := st.Insts[row.Tag]
+		cols := st.Schema.Attrs(row.Tag).Attrs()
+		for _, tu := range inst.Tuples {
+			// Check compatibility with current assignment on dv columns.
+			ok := true
+			var newly []int
+			for j, a := range cols {
+				if !row.DVs.Has(a) {
+					continue
+				}
+				if v, bound := assign[a]; bound {
+					if v != tu[j] {
+						ok = false
+						break
+					}
+				} else {
+					assign[a] = tu[j]
+					newly = append(newly, a)
+				}
+			}
+			if ok && rec(i+1) {
+				return true
+			}
+			for _, a := range newly {
+				delete(assign, a)
+			}
+		}
+		return false
+	}
+	if rec(0) {
+		return assign, true
+	}
+	return nil, false
+}
