@@ -38,7 +38,11 @@ func main() {
 		os.Exit(2)
 	}
 	if *file != "" {
-		s, f, err := readFile(*file)
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		s, f, err := indep.ParseDeclarations(string(data))
 		if err != nil {
 			fatal(err)
 		}
@@ -82,26 +86,6 @@ func main() {
 	default:
 		usage()
 	}
-}
-
-func readFile(path string) (schemaSrc, fdSrc string, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return "", "", err
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		switch {
-		case line == "" || strings.HasPrefix(line, "#"):
-		case strings.HasPrefix(line, "schema:"):
-			schemaSrc += strings.TrimPrefix(line, "schema:") + ";"
-		case strings.HasPrefix(line, "fds:"):
-			fdSrc += strings.TrimPrefix(line, "fds:") + ";"
-		default:
-			return "", "", fmt.Errorf("indep: cannot parse line %q", line)
-		}
-	}
-	return schemaSrc, fdSrc, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,231 @@
+// Command indepd serves a maintained database over HTTP/JSON. It loads a
+// schema, runs the Graham–Yannakakis independence analysis, and opens a
+// ConcurrentStore: independent schemas validate inserts concurrently behind
+// per-relation lock stripes, everything else serializes through the chase —
+// either way every write is validated, so the served state always has a
+// weak instance.
+//
+// Usage:
+//
+//	indepd -schema 'CT(C,T); CS(C,S); CHR(C,H,R)' -fds 'C -> T; C H -> R'
+//	indepd -file design.txt -addr :8080
+//
+// Endpoints:
+//
+//	POST   /insert    {"relation":"CT","row":{"C":"cs101","T":"jones"}}
+//	POST   /batch     {"ops":[{"relation":...,"row":{...}}, ...]}  (atomic)
+//	DELETE /tuple     {"relation":"CT","row":{...}}
+//	GET    /state     full state as JSON rows
+//	GET    /analysis  independence analysis
+//	GET    /stats     per-relation counters and validate latency
+//
+// Rejected writes answer 409 with {"rejected":true}; malformed ones 400.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"indep"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	schemaSrc := flag.String("schema", "", "schema declaration, e.g. 'R1(A,B); R2(B,C)'")
+	fdSrc := flag.String("fds", "", "functional dependencies, e.g. 'A -> B; B -> C'")
+	file := flag.String("file", "", "read schema/fds from a declaration file")
+	flag.Parse()
+
+	var sch *indep.Schema
+	var err error
+	switch {
+	case *file != "":
+		sch, err = indep.ParseFile(*file)
+	case *schemaSrc != "":
+		sch, err = indep.Parse(*schemaSrc, *fdSrc)
+	default:
+		err = fmt.Errorf("missing -schema (or -file)")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	store, err := sch.OpenConcurrentStore()
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("indepd: %s", sch)
+	if store.FastPath() {
+		log.Printf("indepd: schema is independent; serving with per-relation lock stripes")
+	} else {
+		log.Printf("indepd: schema is NOT independent; serving through the serialized chase")
+	}
+	log.Printf("indepd: listening on %s", *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(sch, store),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "indepd:", err)
+	os.Exit(2)
+}
+
+// server bundles the schema and store behind the HTTP API.
+type server struct {
+	sch   *indep.Schema
+	store *indep.ConcurrentStore
+}
+
+// newServer builds the daemon's handler; split from main so tests can mount
+// it on httptest.
+func newServer(sch *indep.Schema, store *indep.ConcurrentStore) http.Handler {
+	s := &server{sch: sch, store: store}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("DELETE /tuple", s.handleDelete)
+	mux.HandleFunc("GET /state", s.handleState)
+	mux.HandleFunc("GET /analysis", s.handleAnalysis)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// tupleReq is the body of /insert and /tuple.
+type tupleReq struct {
+	Relation string            `json:"relation"`
+	Row      map[string]string `json:"row"`
+}
+
+// batchReq is the body of /batch.
+type batchReq struct {
+	Ops []tupleReq `json:"ops"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps an error to 409 for constraint rejections, 500 when the
+// chase ran out of budget (a server-side limit, not the client's fault),
+// and 400 for malformed requests.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case indep.Rejected(err):
+		code = http.StatusConflict
+	case indep.Overloaded(err):
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, map[string]any{
+		"error":    err.Error(),
+		"rejected": indep.Rejected(err),
+	})
+}
+
+// maxBodyBytes bounds request bodies; a /batch of tens of thousands of rows
+// fits comfortably, a streamed multi-GB body does not.
+const maxBodyBytes = 16 << 20
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req tupleReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.store.Insert(req.Relation, req.Row); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchReq
+	if !decode(w, r, &req) {
+		return
+	}
+	ops := make([]indep.BatchOp, len(req.Ops))
+	for i, op := range req.Ops {
+		ops[i] = indep.BatchOp{Rel: op.Relation, Row: op.Row}
+	}
+	if err := s.store.InsertBatch(ops); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "accepted": len(ops)})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req tupleReq
+	if !decode(w, r, &req) {
+		return
+	}
+	deleted, err := s.store.Delete(req.Relation, req.Row)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted})
+}
+
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	rels := make(map[string][]map[string]string, len(s.sch.Relations()))
+	for _, name := range s.sch.Relations() {
+		rows, err := snap.Tuples(name)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+			return
+		}
+		rels[name] = rows
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rows": snap.Rows(), "relations": rels})
+}
+
+func (s *server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	a := s.store.Analysis()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"independent":    a.Independent,
+		"reason":         a.Reason,
+		"fastPath":       s.store.FastPath(),
+		"relationCovers": a.RelationCovers,
+		"summary":        a.Summary(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := s.store.Stats()
+	out := make([]map[string]any, len(stats))
+	for i, st := range stats {
+		out[i] = map[string]any{
+			"relation": st.Relation,
+			"tuples":   st.Tuples,
+			"inserts":  st.Inserts,
+			"rejects":  st.Rejects,
+			"deletes":  st.Deletes,
+			"p50Ns":    st.P50.Nanoseconds(),
+			"p99Ns":    st.P99.Nanoseconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"indep"
+)
+
+func newTestServer(t *testing.T, schemaSrc, fdSrc string) (*httptest.Server, *indep.ConcurrentStore) {
+	t.Helper()
+	sch, err := indep.Parse(schemaSrc, fdSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(sch, store))
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+func do(t *testing.T, method, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: bad JSON response: %v", method, url, err)
+	}
+	return resp, out
+}
+
+func TestServerInsertStateDelete(t *testing.T) {
+	ts, _ := newTestServer(t, "CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+
+	resp, out := do(t, "POST", ts.URL+"/insert", map[string]any{
+		"relation": "CT", "row": map[string]string{"C": "cs101", "T": "jones"},
+	})
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("insert: %d %v", resp.StatusCode, out)
+	}
+
+	// Conflicting insert: 409 with rejected=true.
+	resp, out = do(t, "POST", ts.URL+"/insert", map[string]any{
+		"relation": "CT", "row": map[string]string{"C": "cs101", "T": "smith"},
+	})
+	if resp.StatusCode != http.StatusConflict || out["rejected"] != true {
+		t.Fatalf("conflict: %d %v", resp.StatusCode, out)
+	}
+
+	// Malformed insert: 400, not rejected.
+	resp, out = do(t, "POST", ts.URL+"/insert", map[string]any{
+		"relation": "NOPE", "row": map[string]string{"C": "x"},
+	})
+	if resp.StatusCode != http.StatusBadRequest || out["rejected"] != false {
+		t.Fatalf("malformed: %d %v", resp.StatusCode, out)
+	}
+
+	resp, out = do(t, "GET", ts.URL+"/state", nil)
+	if resp.StatusCode != http.StatusOK || out["rows"].(float64) != 1 {
+		t.Fatalf("state: %d %v", resp.StatusCode, out)
+	}
+	rels := out["relations"].(map[string]any)
+	ct := rels["CT"].([]any)[0].(map[string]any)
+	if ct["C"] != "cs101" || ct["T"] != "jones" {
+		t.Fatalf("state rows: %v", rels)
+	}
+
+	resp, out = do(t, "DELETE", ts.URL+"/tuple", map[string]any{
+		"relation": "CT", "row": map[string]string{"C": "cs101", "T": "jones"},
+	})
+	if resp.StatusCode != http.StatusOK || out["deleted"] != true {
+		t.Fatalf("delete: %d %v", resp.StatusCode, out)
+	}
+	resp, out = do(t, "DELETE", ts.URL+"/tuple", map[string]any{
+		"relation": "CT", "row": map[string]string{"C": "cs101", "T": "jones"},
+	})
+	if resp.StatusCode != http.StatusOK || out["deleted"] != false {
+		t.Fatalf("re-delete: %d %v", resp.StatusCode, out)
+	}
+
+	// After the delete, the previously conflicting teacher is admissible.
+	resp, _ = do(t, "POST", ts.URL+"/insert", map[string]any{
+		"relation": "CT", "row": map[string]string{"C": "cs101", "T": "smith"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert after delete: %d", resp.StatusCode)
+	}
+}
+
+func TestServerBatchAtomic(t *testing.T) {
+	// Non-independent schema: the server must still validate (chase path).
+	ts, store := newTestServer(t, "CD(C,D); CT(C,T); TD(T,D)", "C -> D; C -> T; T -> D")
+	if store.FastPath() {
+		t.Fatal("Example 1 must take the chase path")
+	}
+
+	bad := map[string]any{"ops": []map[string]any{
+		{"relation": "CD", "row": map[string]string{"C": "CS402", "D": "CS"}},
+		{"relation": "CT", "row": map[string]string{"C": "CS402", "T": "Jones"}},
+		{"relation": "TD", "row": map[string]string{"T": "Jones", "D": "EE"}},
+	}}
+	resp, out := do(t, "POST", ts.URL+"/batch", bad)
+	if resp.StatusCode != http.StatusConflict || out["rejected"] != true {
+		t.Fatalf("bad batch: %d %v", resp.StatusCode, out)
+	}
+	if store.Rows() != 0 {
+		t.Fatalf("rejected batch committed %d rows", store.Rows())
+	}
+
+	good := map[string]any{"ops": []map[string]any{
+		{"relation": "CD", "row": map[string]string{"C": "CS402", "D": "CS"}},
+		{"relation": "CT", "row": map[string]string{"C": "CS402", "T": "Jones"}},
+		{"relation": "TD", "row": map[string]string{"T": "Jones", "D": "CS"}},
+	}}
+	resp, out = do(t, "POST", ts.URL+"/batch", good)
+	if resp.StatusCode != http.StatusOK || out["accepted"].(float64) != 3 {
+		t.Fatalf("good batch: %d %v", resp.StatusCode, out)
+	}
+	if store.Rows() != 3 {
+		t.Fatalf("Rows = %d, want 3", store.Rows())
+	}
+}
+
+func TestServerAnalysisAndStats(t *testing.T) {
+	ts, _ := newTestServer(t, "CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+
+	resp, out := do(t, "GET", ts.URL+"/analysis", nil)
+	if resp.StatusCode != http.StatusOK || out["independent"] != true || out["fastPath"] != true {
+		t.Fatalf("analysis: %d %v", resp.StatusCode, out)
+	}
+	covers := out["relationCovers"].(map[string]any)
+	if _, ok := covers["CT"]; !ok {
+		t.Fatalf("analysis covers: %v", covers)
+	}
+
+	do(t, "POST", ts.URL+"/insert", map[string]any{
+		"relation": "CT", "row": map[string]string{"C": "cs101", "T": "jones"},
+	})
+	do(t, "POST", ts.URL+"/insert", map[string]any{
+		"relation": "CT", "row": map[string]string{"C": "cs101", "T": "smith"},
+	})
+
+	req, _ := http.NewRequest("GET", ts.URL+"/stats", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var stats []map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats for %d relations, want 3", len(stats))
+	}
+	ct := stats[0]
+	if ct["relation"] != "CT" || ct["inserts"].(float64) != 1 || ct["rejects"].(float64) != 1 {
+		t.Fatalf("CT stats: %v", ct)
+	}
+}
+
+func TestServerBadJSONAndMethods(t *testing.T) {
+	ts, _ := newTestServer(t, "CT(C,T)", "C -> T")
+
+	resp, err := http.Post(ts.URL+"/insert", "application/json", bytes.NewBufferString("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d", resp.StatusCode)
+	}
+
+	// Wrong method on a routed pattern.
+	resp, err = http.Get(ts.URL + "/insert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /insert: %d, want 405", resp.StatusCode)
+	}
+}

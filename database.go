@@ -6,9 +6,32 @@ import (
 
 	"indep/internal/attrset"
 	"indep/internal/chase"
+	"indep/internal/infer"
 	"indep/internal/maintenance"
 	"indep/internal/relation"
+	"indep/internal/schema"
 )
+
+// rowTuple resolves a named row (attribute name → value name) into a scheme
+// index and a tuple, interning values through intern. All attributes of the
+// scheme must be present. Shared by every row-accepting entry point.
+func rowTuple(s *schema.Schema, intern func(string) relation.Value, rel string, row map[string]string) (int, relation.Tuple, error) {
+	i := s.IndexOf(rel)
+	if i < 0 {
+		return -1, nil, fmt.Errorf("indep: unknown relation %q", rel)
+	}
+	attrs := s.Attrs(i).Attrs()
+	t := make(relation.Tuple, len(attrs))
+	for j, a := range attrs {
+		name := s.U.Name(a)
+		v, ok := row[name]
+		if !ok {
+			return -1, nil, fmt.Errorf("indep: missing value for attribute %s of %s", name, rel)
+		}
+		t[j] = intern(v)
+	}
+	return i, t, nil
+}
 
 // attrSetT is the attribute-set representation shared with the internal
 // packages.
@@ -30,19 +53,9 @@ func (s *Schema) NewDatabase() *Database {
 // or a Store for maintained inserts. All attributes of the relation scheme
 // must be present.
 func (db *Database) Insert(rel string, row map[string]string) error {
-	i := db.st.Schema.IndexOf(rel)
-	if i < 0 {
-		return fmt.Errorf("indep: unknown relation %q", rel)
-	}
-	attrs := db.st.Schema.Attrs(i).Attrs()
-	t := make(relation.Tuple, len(attrs))
-	for j, a := range attrs {
-		name := db.st.Schema.U.Name(a)
-		v, ok := row[name]
-		if !ok {
-			return fmt.Errorf("indep: missing value for attribute %s of %s", name, rel)
-		}
-		t[j] = db.st.Dict.Value(v)
+	i, t, err := rowTuple(db.st.Schema, db.st.Dict.Value, rel, row)
+	if err != nil {
+		return err
 	}
 	db.st.Insts[i].Add(t)
 	return nil
@@ -50,6 +63,25 @@ func (db *Database) Insert(rel string, row map[string]string) error {
 
 // Rows returns the number of tuples across all relations.
 func (db *Database) Rows() int { return db.st.TupleCount() }
+
+// Tuples returns the rows of the named relation as attribute-name →
+// value-name maps, in no particular order.
+func (db *Database) Tuples(rel string) ([]map[string]string, error) {
+	i := db.st.Schema.IndexOf(rel)
+	if i < 0 {
+		return nil, fmt.Errorf("indep: unknown relation %q", rel)
+	}
+	attrs := db.st.Schema.Attrs(i).Attrs()
+	out := make([]map[string]string, 0, db.st.Insts[i].Len())
+	for _, t := range db.st.Insts[i].Tuples {
+		row := make(map[string]string, len(attrs))
+		for j, a := range attrs {
+			row[db.st.Schema.U.Name(a)] = db.st.Dict.Name(t[j])
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
 
 // String renders the state with named values.
 func (db *Database) String() string { return db.st.String() }
@@ -80,14 +112,7 @@ func (db *Database) SatisfiesLocally() (bool, string, error) {
 
 // needsJD reports whether the chase must apply the join-dependency rule:
 // by the paper's Lemma 4, embedded FDs make it unnecessary.
-func needsJD(s *Schema) bool {
-	for _, f := range s.fds {
-		if !s.s.Embeds(f.Attrs()) {
-			return true
-		}
-	}
-	return false
-}
+func needsJD(s *Schema) bool { return !infer.AllEmbedded(s.s, s.fds) }
 
 // ErrRejected wraps insert rejections from a Store.
 var ErrRejected = maintenance.ErrViolation
@@ -119,19 +144,9 @@ func (st *Store) FastPath() bool { return st.fast }
 // Insert validates and adds a row. A rejected insert leaves the state
 // unchanged and returns an error wrapping ErrRejected.
 func (st *Store) Insert(rel string, row map[string]string) error {
-	i := st.m.State().Schema.IndexOf(rel)
-	if i < 0 {
-		return fmt.Errorf("indep: unknown relation %q", rel)
-	}
-	attrs := st.m.State().Schema.Attrs(i).Attrs()
-	t := make(relation.Tuple, len(attrs))
-	for j, a := range attrs {
-		name := st.m.State().Schema.U.Name(a)
-		v, ok := row[name]
-		if !ok {
-			return fmt.Errorf("indep: missing value for attribute %s of %s", name, rel)
-		}
-		t[j] = st.dict.Value(v)
+	i, t, err := rowTuple(st.m.State().Schema, st.dict.Value, rel, row)
+	if err != nil {
+		return err
 	}
 	return st.m.Insert(i, t)
 }
@@ -139,6 +154,11 @@ func (st *Store) Insert(rel string, row map[string]string) error {
 // Rejected reports whether an Insert error means the row was rejected as
 // inconsistent (as opposed to malformed input).
 func Rejected(err error) bool { return errors.Is(err, maintenance.ErrViolation) }
+
+// Overloaded reports whether an error means the chase exhausted its budget
+// — a server-side resource limit, not a verdict on the row. Possible only
+// on the non-independent maintenance path with non-embedded FDs.
+func Overloaded(err error) bool { return errors.Is(err, chase.ErrBudget) }
 
 // Rows returns the number of tuples across all relations.
 func (st *Store) Rows() int { return st.m.State().TupleCount() }

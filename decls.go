@@ -1,0 +1,45 @@
+package indep
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ParseDeclarations splits the declaration-file format shared by the indep
+// and indepd commands into its schema and FD sources. One declaration per
+// line; lines starting with '#' are comments:
+//
+//	schema: CT(C,T); CS(C,S); CHR(C,H,R)
+//	fds: C -> T; C H -> R
+//
+// Repeated schema:/fds: lines accumulate.
+func ParseDeclarations(src string) (schemaSrc, fdSrc string, err error) {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "schema:"):
+			schemaSrc += strings.TrimPrefix(line, "schema:") + ";"
+		case strings.HasPrefix(line, "fds:"):
+			fdSrc += strings.TrimPrefix(line, "fds:") + ";"
+		default:
+			return "", "", fmt.Errorf("indep: cannot parse line %q", line)
+		}
+	}
+	return schemaSrc, fdSrc, nil
+}
+
+// ParseFile reads a declaration file (see ParseDeclarations) and parses the
+// schema it declares.
+func ParseFile(path string) (*Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	schemaSrc, fdSrc, err := ParseDeclarations(string(data))
+	if err != nil {
+		return nil, err
+	}
+	return Parse(schemaSrc, fdSrc)
+}

@@ -1,0 +1,3 @@
+module indep
+
+go 1.24

@@ -181,6 +181,13 @@ func (s *Schema) Analyze() (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.newAnalysis(res), nil
+}
+
+// newAnalysis converts a decision-procedure result into the public Analysis;
+// shared by Analyze and OpenConcurrentStore (which gets the result from its
+// engine rather than deciding twice).
+func (s *Schema) newAnalysis(res *independence.Result) *Analysis {
 	a := &Analysis{
 		Independent: res.Independent,
 		Reason:      string(res.Reason),
@@ -195,7 +202,7 @@ func (s *Schema) Analyze() (*Analysis, error) {
 			sort.Strings(fs)
 			a.RelationCovers[s.s.Name(i)] = fs
 		}
-		return a, nil
+		return a
 	}
 	for _, f := range res.FailingFDs {
 		a.FailingFDs = append(a.FailingFDs, f.Format(s.s.U))
@@ -210,7 +217,7 @@ func (s *Schema) Analyze() (*Analysis, error) {
 	if res.Witness != nil {
 		a.Witness = &Database{schema: s, st: res.Witness}
 	}
-	return a, nil
+	return a
 }
 
 // Summary renders a human-readable report of the analysis.

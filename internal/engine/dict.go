@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"indep/internal/relation"
+)
+
+// dictShards is the number of lock stripes in a Dict. Power of two so the
+// modulo compiles to a mask.
+const dictShards = 64
+
+// Dict is a sharded, concurrency-safe value dictionary: the engine's
+// replacement for relation.Dict, which is a plain map and unusable under
+// goroutines. Each shard owns a disjoint residue class of the value space
+// (shard s allocates s, s+dictShards, s+2·dictShards, …), so interning and
+// reverse lookup touch exactly one stripe and never a global lock.
+type Dict struct {
+	shards [dictShards]dictShard
+}
+
+type dictShard struct {
+	mu    sync.RWMutex
+	index map[string]relation.Value
+	names []string
+}
+
+// NewDict creates an empty concurrent dictionary.
+func NewDict() *Dict { return &Dict{} }
+
+// shardOf hashes a name to its stripe (FNV-1a).
+func shardOf(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return int(h % dictShards)
+}
+
+// Value interns name and returns its value. Safe for concurrent use; the
+// same name always maps to the same value.
+func (d *Dict) Value(name string) relation.Value {
+	si := shardOf(name)
+	sh := &d.shards[si]
+	sh.mu.RLock()
+	v, ok := sh.index[name]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.index[name]; ok { // raced with another writer
+		return v
+	}
+	if sh.index == nil {
+		sh.index = make(map[string]relation.Value)
+	}
+	v = relation.Value(len(sh.names)*dictShards + si)
+	sh.names = append(sh.names, name)
+	sh.index[name] = v
+	return v
+}
+
+// Lookup returns the value of an already-interned name without interning it.
+func (d *Dict) Lookup(name string) (relation.Value, bool) {
+	sh := &d.shards[shardOf(name)]
+	sh.mu.RLock()
+	v, ok := sh.index[name]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Name returns the display name of v, or its numeral if v was never interned.
+func (d *Dict) Name(v relation.Value) string {
+	if v >= 0 {
+		sh := &d.shards[int(v)%dictShards]
+		idx := int(v) / dictShards
+		sh.mu.RLock()
+		if idx < len(sh.names) {
+			name := sh.names[idx]
+			sh.mu.RUnlock()
+			return name
+		}
+		sh.mu.RUnlock()
+	}
+	return fmt.Sprintf("%d", int64(v))
+}
+
+// Len returns the number of interned names.
+func (d *Dict) Len() int {
+	n := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		n += len(sh.names)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Materialize copies the dictionary into a plain relation.Dict (value
+// bindings preserved), for attaching to immutable snapshot states.
+func (d *Dict) Materialize() *relation.Dict {
+	out := &relation.Dict{}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		for idx, name := range sh.names {
+			out.Define(relation.Value(idx*dictShards+i), name)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"indep/internal/relation"
+)
+
+func TestDictInternRoundTrip(t *testing.T) {
+	d := NewDict()
+	v1 := d.Value("alice")
+	v2 := d.Value("bob")
+	if v1 == v2 {
+		t.Fatal("distinct names share a value")
+	}
+	if d.Value("alice") != v1 {
+		t.Fatal("re-interning changed the value")
+	}
+	if d.Name(v1) != "alice" || d.Name(v2) != "bob" {
+		t.Fatalf("Name round-trip failed: %q, %q", d.Name(v1), d.Name(v2))
+	}
+	if _, ok := d.Lookup("carol"); ok {
+		t.Fatal("Lookup invented a value")
+	}
+	if v, ok := d.Lookup("alice"); !ok || v != v1 {
+		t.Fatal("Lookup disagrees with Value")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Name(relation.Value(1<<40)) != fmt.Sprintf("%d", int64(1<<40)) {
+		t.Fatal("unknown value must render as numeral")
+	}
+}
+
+func TestDictConcurrent(t *testing.T) {
+	d := NewDict()
+	const goroutines = 16
+	const names = 200
+	got := make([][]relation.Value, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]relation.Value, names)
+			for i := 0; i < names; i++ {
+				// Every goroutine interns the same name set concurrently.
+				got[g][i] = d.Value(fmt.Sprintf("name-%d", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range got[g] {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d got a different value for name-%d", g, i)
+			}
+		}
+	}
+	if d.Len() != names {
+		t.Fatalf("Len = %d, want %d", d.Len(), names)
+	}
+	seen := make(map[relation.Value]bool, names)
+	for i, v := range got[0] {
+		if seen[v] {
+			t.Fatalf("value %d assigned twice", v)
+		}
+		seen[v] = true
+		if d.Name(v) != fmt.Sprintf("name-%d", i) {
+			t.Fatalf("Name(%d) = %q", v, d.Name(v))
+		}
+	}
+}
+
+func TestDictMaterialize(t *testing.T) {
+	d := NewDict()
+	var vals []relation.Value
+	for i := 0; i < 50; i++ {
+		vals = append(vals, d.Value(fmt.Sprintf("v%d", i)))
+	}
+	plain := d.Materialize()
+	for i, v := range vals {
+		if plain.Name(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("materialized Name(%d) = %q, want v%d", v, plain.Name(v), i)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+// Package engine is a thread-safe, sharded maintenance engine layered on
+// internal/maintenance. It exists because independence is exactly what makes
+// constraint maintenance parallelizable: for an independent schema each
+// relation's guard touches only that relation's FD indexes and instance, so
+// inserts into different relations can validate concurrently behind
+// per-relation lock stripes with no global coordination. Non-independent
+// schemas still work — every operation serializes through the chase
+// maintainer under one mutex, which is the honest cost Theorem 1 imposes.
+//
+// On top of the maintainers the engine adds atomic batch inserts, deletes
+// (always admissible: SAT is closed under subsets), consistent snapshot
+// reads, a sharded concurrent value dictionary, and per-relation statistics
+// with validate-latency percentiles.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"indep/internal/chase"
+	"indep/internal/fd"
+	"indep/internal/independence"
+	"indep/internal/infer"
+	"indep/internal/maintenance"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// Op is a single tuple operation addressed to a scheme, the unit of
+// InsertBatch.
+type Op struct {
+	Scheme int
+	Tuple  relation.Tuple
+}
+
+// Engine is a concurrent maintained database. Create with New; all methods
+// are safe for concurrent use.
+type Engine struct {
+	s    *schema.Schema
+	fds  fd.List
+	caps chase.Caps
+	res  *independence.Result
+	dict *Dict
+
+	// Fast path (independent schemas): shards[i].mu guards both the guard's
+	// per-scheme data (FD indexes and instance i) and shards[i]'s stats.
+	fast  bool
+	guard *maintenance.Guard
+
+	// Chase path (everything else): mu serializes all state access; shard
+	// mutexes guard only stats. Lock order is always mu before shard.mu.
+	mu    sync.Mutex
+	chase *maintenance.ChaseMaintainer
+	jd    bool
+
+	shards []shard
+}
+
+// shard is the per-relation lock stripe with its operation counters.
+type shard struct {
+	mu      sync.Mutex
+	tuples  int64
+	inserts uint64
+	rejects uint64
+	deletes uint64
+	lat     latRing
+}
+
+// note records the outcome of one operation; callers hold sh.mu. Chase
+// budget exhaustion is a server-side limit, not a client rejection, and is
+// deliberately not counted in rejects.
+func (sh *shard) note(added, removed bool, err error, d time.Duration) {
+	switch {
+	case errors.Is(err, chase.ErrBudget):
+	case err != nil:
+		sh.rejects++
+	case removed:
+		sh.deletes++
+		sh.tuples--
+	default:
+		sh.inserts++
+		if added {
+			sh.tuples++
+		}
+	}
+	sh.lat.add(d)
+}
+
+// New analyzes the schema and opens an empty concurrent engine: lock-striped
+// guards when the independence test accepts, a serialized chase maintainer
+// otherwise.
+func New(s *schema.Schema, fds fd.List, caps chase.Caps) (*Engine, error) {
+	res, err := independence.Decide(s, fds)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		s:      s,
+		fds:    fds,
+		caps:   caps,
+		res:    res,
+		dict:   NewDict(),
+		shards: make([]shard, len(s.Rels)),
+	}
+	if res.Independent {
+		e.fast = true
+		e.guard = maintenance.NewGuard(s, res.Cover)
+	} else {
+		e.jd = !infer.AllEmbedded(s, fds)
+		e.chase = maintenance.NewChaseMaintainer(s, fds, e.jd, caps)
+	}
+	return e, nil
+}
+
+// Fast reports whether the engine validates through per-relation lock
+// stripes (independent schema) rather than the serialized chase.
+func (e *Engine) Fast() bool { return e.fast }
+
+// Result returns the independence analysis the engine was built from.
+func (e *Engine) Result() *independence.Result { return e.res }
+
+// Schema returns the engine's schema.
+func (e *Engine) Schema() *schema.Schema { return e.s }
+
+// Dict returns the engine's concurrent value dictionary; use it to intern
+// row values before building tuples.
+func (e *Engine) Dict() *Dict { return e.dict }
+
+// checkOp validates addressing and arity up front so the maintainers can
+// assume well-formed operations.
+func (e *Engine) checkOp(scheme int, t relation.Tuple) error {
+	if scheme < 0 || scheme >= len(e.shards) {
+		return fmt.Errorf("engine: no scheme %d", scheme)
+	}
+	if want := e.s.Attrs(scheme).Len(); len(t) != want {
+		return fmt.Errorf("engine: tuple arity %d does not match %s arity %d",
+			len(t), e.s.Name(scheme), want)
+	}
+	return nil
+}
+
+// Insert validates and adds one tuple. A rejected insert leaves the state
+// unchanged and returns an error wrapping maintenance.ErrViolation.
+func (e *Engine) Insert(scheme int, t relation.Tuple) error {
+	if err := e.checkOp(scheme, t); err != nil {
+		return err
+	}
+	sh := &e.shards[scheme]
+	start := time.Now()
+	var added bool
+	var err error
+	if e.fast {
+		sh.mu.Lock()
+		added, err = e.guard.InsertReport(scheme, t)
+	} else {
+		e.mu.Lock()
+		added, err = e.chase.InsertReport(scheme, t)
+		e.mu.Unlock()
+		sh.mu.Lock()
+	}
+	sh.note(added, false, err, time.Since(start))
+	sh.mu.Unlock()
+	return err
+}
+
+// Delete removes one tuple, reporting whether it was present. Deletions are
+// always admissible, so the only errors are malformed operations.
+func (e *Engine) Delete(scheme int, t relation.Tuple) (bool, error) {
+	if err := e.checkOp(scheme, t); err != nil {
+		return false, err
+	}
+	sh := &e.shards[scheme]
+	start := time.Now()
+	var removed bool
+	var err error
+	if e.fast {
+		sh.mu.Lock()
+		removed, err = e.guard.Delete(scheme, t)
+	} else {
+		e.mu.Lock()
+		removed, err = e.chase.Delete(scheme, t)
+		e.mu.Unlock()
+		sh.mu.Lock()
+	}
+	if removed || err != nil {
+		sh.note(false, removed, err, time.Since(start))
+	}
+	sh.mu.Unlock()
+	return removed, err
+}
+
+// InsertBatch validates and adds a batch of tuples atomically: either every
+// tuple is admitted or the state is left unchanged and the first violation
+// is returned. On the fast path the batch takes each involved relation's
+// stripe once, amortizing locking across the batch; independence guarantees
+// the per-relation checks jointly decide global admissibility. On the chase
+// path the whole batch is validated with a single chase instead of one per
+// tuple.
+func (e *Engine) InsertBatch(ops []Op) error {
+	for _, op := range ops {
+		if err := e.checkOp(op.Scheme, op.Tuple); err != nil {
+			return err
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	if e.fast {
+		return e.batchFast(ops)
+	}
+	return e.batchChase(ops)
+}
+
+// batchSchemes returns the distinct schemes of the batch in ascending order
+// — the engine's global lock-acquisition order, shared with Snapshot.
+func batchSchemes(ops []Op) []int {
+	seen := make(map[int]bool, len(ops))
+	var out []int
+	for _, op := range ops {
+		if !seen[op.Scheme] {
+			seen[op.Scheme] = true
+			out = append(out, op.Scheme)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (e *Engine) batchFast(ops []Op) error {
+	start := time.Now()
+	schemes := batchSchemes(ops)
+	for _, s := range schemes {
+		e.shards[s].mu.Lock()
+	}
+	added := make([]Op, 0, len(ops))
+	var err error
+	for _, op := range ops {
+		var ok bool
+		ok, err = e.guard.InsertReport(op.Scheme, op.Tuple)
+		if err != nil {
+			break
+		}
+		if ok {
+			added = append(added, op)
+		}
+	}
+	if err != nil {
+		// Roll back in reverse; deletes cannot fail, so the state returns
+		// exactly to where it was while we still hold every stripe.
+		for i := len(added) - 1; i >= 0; i-- {
+			e.guard.Delete(added[i].Scheme, added[i].Tuple)
+		}
+	}
+	e.noteBatch(ops, added, schemes, err, time.Since(start))
+	for _, s := range schemes {
+		e.shards[s].mu.Unlock()
+	}
+	return err
+}
+
+func (e *Engine) batchChase(ops []Op) error {
+	start := time.Now()
+	e.mu.Lock()
+	st := e.chase.State()
+	trial := st.Clone()
+	grew := false
+	for _, op := range ops {
+		if trial.Insts[op.Scheme].Add(op.Tuple) {
+			grew = true
+		}
+	}
+	var err error
+	if grew {
+		ok, cerr := chase.Satisfies(trial, e.fds, e.jd, e.caps)
+		if cerr != nil {
+			err = cerr
+		} else if !ok {
+			err = fmt.Errorf("%w: chase found a contradiction", maintenance.ErrViolation)
+		}
+	}
+	var added []Op
+	if err == nil {
+		for _, op := range ops {
+			if st.Insts[op.Scheme].Add(op.Tuple) {
+				added = append(added, op)
+			}
+		}
+	}
+	e.mu.Unlock()
+	d := time.Since(start)
+	schemes := batchSchemes(ops)
+	for _, s := range schemes {
+		e.shards[s].mu.Lock()
+	}
+	e.noteBatch(ops, added, schemes, err, d)
+	for _, s := range schemes {
+		e.shards[s].mu.Unlock()
+	}
+	return err
+}
+
+// noteBatch attributes a batch outcome to the involved shards (schemes is
+// the batch's distinct scheme list): per-op accept/reject counters, tuple
+// deltas for the ops actually added, and the batch latency once per shard.
+// Callers hold every involved stripe.
+func (e *Engine) noteBatch(ops, added []Op, schemes []int, err error, d time.Duration) {
+	for _, op := range ops {
+		sh := &e.shards[op.Scheme]
+		switch {
+		case errors.Is(err, chase.ErrBudget): // server-side limit, not a reject
+		case err != nil:
+			sh.rejects++
+		default:
+			sh.inserts++
+		}
+	}
+	for _, op := range added {
+		if err == nil {
+			e.shards[op.Scheme].tuples++
+		}
+	}
+	for _, s := range schemes {
+		e.shards[s].lat.add(d)
+	}
+}
+
+// Snapshot returns a deep copy of the current state: a consistent cut that
+// no later operation mutates. The attached dictionary is a point-in-time
+// copy of the engine's, so the snapshot renders with names.
+func (e *Engine) Snapshot() *relation.State {
+	var st *relation.State
+	if e.fast {
+		for i := range e.shards {
+			e.shards[i].mu.Lock()
+		}
+		st = e.guard.State().Clone()
+		for i := range e.shards {
+			e.shards[i].mu.Unlock()
+		}
+	} else {
+		e.mu.Lock()
+		st = e.chase.State().Clone()
+		e.mu.Unlock()
+	}
+	st.Dict = e.dict.Materialize()
+	return st
+}
+
+// Rows returns the total number of tuples across all relations.
+func (e *Engine) Rows() int64 {
+	var n int64
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		n += sh.tuples
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// RelationStats is a point-in-time view of one relation's operation
+// counters. Latency percentiles are over a sliding window of the last
+// latWindow operations touching the relation and measure the full
+// end-to-end operation — lock wait included — so under contention they
+// report what callers actually experience, not the bare validation cost.
+type RelationStats struct {
+	Relation string
+	Tuples   int64
+	Inserts  uint64        // accepted insert operations (duplicates included)
+	Rejects  uint64        // rejected operations
+	Deletes  uint64        // deletes that removed a tuple
+	P50      time.Duration // end-to-end op latency, incl. lock wait
+	P99      time.Duration
+}
+
+// Stats returns per-relation statistics in scheme order.
+func (e *Engine) Stats() []RelationStats {
+	out := make([]RelationStats, len(e.shards))
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		p50, p99 := sh.lat.percentiles()
+		out[i] = RelationStats{
+			Relation: e.s.Name(i),
+			Tuples:   sh.tuples,
+			Inserts:  sh.inserts,
+			Rejects:  sh.rejects,
+			Deletes:  sh.deletes,
+			P50:      p50,
+			P99:      p99,
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// latWindow is the sliding-window size for latency percentiles.
+const latWindow = 1024
+
+// latRing is a fixed-size ring of validate latencies in nanoseconds.
+type latRing struct {
+	buf  [latWindow]int64
+	n    int // filled entries
+	next int // next write position
+}
+
+func (r *latRing) add(d time.Duration) {
+	r.buf[r.next] = int64(d)
+	r.next = (r.next + 1) % latWindow
+	if r.n < latWindow {
+		r.n++
+	}
+}
+
+// percentiles returns the window's p50 and p99 (nearest-rank on a sorted
+// copy; zero when the window is empty).
+func (r *latRing) percentiles() (p50, p99 time.Duration) {
+	if r.n == 0 {
+		return 0, 0
+	}
+	cp := make([]int64, r.n)
+	copy(cp, r.buf[:r.n])
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	at := func(p float64) time.Duration {
+		i := int(p * float64(r.n-1))
+		return time.Duration(cp[i])
+	}
+	return at(0.50), at(0.99)
+}

@@ -1,0 +1,335 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"indep/internal/chase"
+	"indep/internal/fd"
+	"indep/internal/maintenance"
+	"indep/internal/relation"
+	"indep/internal/schema"
+	"indep/internal/workload"
+)
+
+func openUniversity(t testing.TB) *Engine {
+	t.Helper()
+	s, fds := workload.University()
+	e, err := New(s, fds, chase.DefaultCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Fast() {
+		t.Fatal("University schema must take the fast path")
+	}
+	return e
+}
+
+func openExample1(t testing.TB) (*Engine, fd.List) {
+	t.Helper()
+	s, fds := workload.Example1()
+	e, err := New(s, fds, chase.DefaultCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Fast() {
+		t.Fatal("Example 1 schema must take the chase path")
+	}
+	return e, fds
+}
+
+// tuple builds a tuple by interning the names through the engine's dict.
+func tuple(e *Engine, names ...string) relation.Tuple {
+	t := make(relation.Tuple, len(names))
+	for i, n := range names {
+		t[i] = e.Dict().Value(n)
+	}
+	return t
+}
+
+func TestEngineFastInsertAndReject(t *testing.T) {
+	e := openUniversity(t)
+	// COURSE(C,T,D) with C->T, C->D.
+	if err := e.Insert(0, tuple(e, "cs101", "jones", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	// Same course, same teacher: duplicate, accepted as a no-op.
+	if err := e.Insert(0, tuple(e, "cs101", "jones", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	// Same course, different teacher: violates C->T.
+	err := e.Insert(0, tuple(e, "cs101", "smith", "cs"))
+	if !errors.Is(err, maintenance.ErrViolation) {
+		t.Fatalf("want violation, got %v", err)
+	}
+	if got := e.Rows(); got != 1 {
+		t.Fatalf("Rows = %d, want 1", got)
+	}
+	st := e.Snapshot()
+	if st.TupleCount() != 1 {
+		t.Fatalf("snapshot has %d tuples, want 1", st.TupleCount())
+	}
+}
+
+func TestEngineChasePath(t *testing.T) {
+	e, _ := openExample1(t)
+	// The paper's CS402 anomaly: each insert is locally fine, the third
+	// makes the state globally unsatisfying and must be rejected.
+	if err := e.Insert(0, tuple(e, "cs402", "cs")); err != nil { // CD
+		t.Fatal(err)
+	}
+	if err := e.Insert(1, tuple(e, "cs402", "jones")); err != nil { // CT
+		t.Fatal(err)
+	}
+	err := e.Insert(2, tuple(e, "ee", "jones")) // TD: tuple order is (D,T)
+	if !errors.Is(err, maintenance.ErrViolation) {
+		t.Fatalf("want violation, got %v", err)
+	}
+	if got := e.Rows(); got != 2 {
+		t.Fatalf("Rows = %d, want 2", got)
+	}
+}
+
+func TestEngineDeleteUnblocksInsert(t *testing.T) {
+	e := openUniversity(t)
+	c1 := tuple(e, "cs101", "jones", "cs")
+	c2 := tuple(e, "cs101", "smith", "cs")
+	if err := e.Insert(0, c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert(0, c2); !errors.Is(err, maintenance.ErrViolation) {
+		t.Fatalf("want violation, got %v", err)
+	}
+	if ok, err := e.Delete(0, c1); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v; want true, nil", ok, err)
+	}
+	if ok, _ := e.Delete(0, c1); ok {
+		t.Fatal("second delete of the same tuple must report absent")
+	}
+	// With the old binding gone, the previously conflicting tuple fits.
+	if err := e.Insert(0, c2); err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+}
+
+func TestEngineDeleteRefcount(t *testing.T) {
+	// R(A,B,C) with A->B: two tuples witness the same binding a->b; the
+	// binding must survive deleting one of them.
+	s := schema.MustParse("R(A,B,C)")
+	fds := fd.MustParse(s.U, "A -> B")
+	e, err := New(s, fds, chase.DefaultCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Fast() {
+		t.Fatal("single-relation schema must take the fast path")
+	}
+	t1 := tuple(e, "a", "b", "c1")
+	t2 := tuple(e, "a", "b", "c2")
+	conflict := tuple(e, "a", "b2", "c3")
+	for _, tp := range []relation.Tuple{t1, t2} {
+		if err := e.Insert(0, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Delete(0, t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert(0, conflict); !errors.Is(err, maintenance.ErrViolation) {
+		t.Fatalf("binding a->b still witnessed by t2; want violation, got %v", err)
+	}
+	if _, err := e.Delete(0, t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert(0, conflict); err != nil {
+		t.Fatalf("binding fully unwitnessed; insert should pass, got %v", err)
+	}
+}
+
+func TestEngineBatchAtomicFast(t *testing.T) {
+	e := openUniversity(t)
+	good := []Op{
+		{Scheme: 0, Tuple: tuple(e, "cs101", "jones", "cs")},
+		{Scheme: 3, Tuple: tuple(e, "s1", "amy", "y1")},
+	}
+	if err := e.InsertBatch(good); err != nil {
+		t.Fatal(err)
+	}
+	// Internally inconsistent batch: two teachers for one course. The batch
+	// must be rejected wholesale, including its valid first op.
+	bad := []Op{
+		{Scheme: 3, Tuple: tuple(e, "s2", "bob", "y1")},
+		{Scheme: 0, Tuple: tuple(e, "cs200", "jones", "cs")},
+		{Scheme: 0, Tuple: tuple(e, "cs200", "smith", "cs")},
+	}
+	if err := e.InsertBatch(bad); !errors.Is(err, maintenance.ErrViolation) {
+		t.Fatalf("want violation, got %v", err)
+	}
+	if got := e.Rows(); got != 2 {
+		t.Fatalf("Rows after rejected batch = %d, want 2 (no partial commit)", got)
+	}
+	st := e.Snapshot()
+	if st.Insts[3].Has(tuple(e, "s2", "bob", "y1")) {
+		t.Fatal("rejected batch leaked its first op into the state")
+	}
+}
+
+func TestEngineBatchAtomicChase(t *testing.T) {
+	e, _ := openExample1(t)
+	// All three CS402 tuples in one batch: jointly unsatisfiable.
+	bad := []Op{
+		{Scheme: 0, Tuple: tuple(e, "cs402", "cs")},
+		{Scheme: 1, Tuple: tuple(e, "cs402", "jones")},
+		{Scheme: 2, Tuple: tuple(e, "ee", "jones")}, // TD: tuple order is (D,T)
+	}
+	if err := e.InsertBatch(bad); !errors.Is(err, maintenance.ErrViolation) {
+		t.Fatalf("want violation, got %v", err)
+	}
+	if got := e.Rows(); got != 0 {
+		t.Fatalf("Rows after rejected batch = %d, want 0", got)
+	}
+	// A consistent batch commits.
+	good := []Op{
+		{Scheme: 0, Tuple: tuple(e, "cs402", "cs")},
+		{Scheme: 1, Tuple: tuple(e, "cs402", "jones")},
+		{Scheme: 2, Tuple: tuple(e, "cs", "jones")},
+	}
+	if err := e.InsertBatch(good); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Rows(); got != 3 {
+		t.Fatalf("Rows = %d, want 3", got)
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	e := openUniversity(t)
+	if err := e.Insert(0, tuple(e, "cs101", "jones", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	e.Insert(0, tuple(e, "cs101", "smith", "cs")) // reject
+	if ok, _ := e.Delete(0, tuple(e, "cs101", "jones", "cs")); !ok {
+		t.Fatal("delete failed")
+	}
+	stats := e.Stats()
+	course := stats[0]
+	if course.Relation != "COURSE" {
+		t.Fatalf("stats[0].Relation = %s", course.Relation)
+	}
+	if course.Inserts != 1 || course.Rejects != 1 || course.Deletes != 1 || course.Tuples != 0 {
+		t.Fatalf("unexpected stats: %+v", course)
+	}
+	if course.P50 < 0 || course.P99 < course.P50 {
+		t.Fatalf("percentiles out of order: %+v", course)
+	}
+}
+
+// stress runs parallel inserts/deletes/batches/snapshots; run under -race.
+func stress(t *testing.T, e *Engine, relCount int, width func(int) int) {
+	const goroutines = 8
+	const opsPer = 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				scheme := (g + i) % relCount
+				w := width(scheme)
+				tp := make(relation.Tuple, w)
+				for c := range tp {
+					// Functional values: attribute value is a function of
+					// the seed, so concurrent inserts never conflict.
+					tp[c] = e.Dict().Value(fmt.Sprintf("v%d-%d-%d", g, i, c))
+				}
+				switch i % 5 {
+				case 0, 1, 2:
+					if err := e.Insert(scheme, tp); err != nil && !errors.Is(err, maintenance.ErrViolation) {
+						t.Error(err)
+						return
+					}
+				case 3:
+					e.Insert(scheme, tp)
+					if _, err := e.Delete(scheme, tp); err != nil {
+						t.Error(err)
+						return
+					}
+				case 4:
+					snap := e.Snapshot()
+					if snap.TupleCount() < 0 {
+						t.Error("impossible")
+						return
+					}
+					e.Stats()
+					e.Rows()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestEngineStressFast(t *testing.T) {
+	e := openUniversity(t)
+	s := e.Schema()
+	stress(t, e, s.Size(), func(i int) int { return s.Attrs(i).Len() })
+	// Every shard's bookkeeping must agree with the final state.
+	snap := e.Snapshot()
+	if int64(snap.TupleCount()) != e.Rows() {
+		t.Fatalf("snapshot count %d != Rows %d", snap.TupleCount(), e.Rows())
+	}
+}
+
+func TestEngineStressChase(t *testing.T) {
+	e, fds := openExample1(t)
+	s := e.Schema()
+	stress(t, e, s.Size(), func(i int) int { return s.Attrs(i).Len() })
+	snap := e.Snapshot()
+	if int64(snap.TupleCount()) != e.Rows() {
+		t.Fatalf("snapshot count %d != Rows %d", snap.TupleCount(), e.Rows())
+	}
+	// The chase path must have kept the state globally satisfying.
+	ok, err := chase.Satisfies(snap, fds, true, chase.DefaultCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("chase-path state lost satisfaction under concurrency")
+	}
+}
+
+func TestEngineSnapshotImmutable(t *testing.T) {
+	e := openUniversity(t)
+	if err := e.Insert(0, tuple(e, "cs101", "jones", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	before := snap.TupleCount()
+	if err := e.Insert(0, tuple(e, "cs200", "smith", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	if snap.TupleCount() != before {
+		t.Fatal("snapshot mutated by a later insert")
+	}
+	if snap.Dict.Name(tuple(e, "cs101")[0]) != "cs101" {
+		t.Fatal("snapshot dictionary lost value names")
+	}
+}
+
+func TestEngineMalformedOps(t *testing.T) {
+	e := openUniversity(t)
+	if err := e.Insert(99, tuple(e, "x")); err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+	if err := e.Insert(0, tuple(e, "too", "short")); err == nil {
+		t.Fatal("want error for wrong arity")
+	}
+	if _, err := e.Delete(-1, tuple(e, "x")); err == nil {
+		t.Fatal("want error for negative scheme")
+	}
+	if err := e.InsertBatch([]Op{{Scheme: 0, Tuple: tuple(e, "bad")}}); err == nil {
+		t.Fatal("want error for malformed batch op")
+	}
+}

@@ -114,6 +114,19 @@ func CoverEmbeds(s *schema.Schema, fds fd.List) (bool, fd.List) {
 	return len(failing) == 0, failing
 }
 
+// AllEmbedded reports whether every FD of fds is embedded in some scheme of
+// s. By the paper's Lemma 4 the join-dependency chase rule is redundant for
+// embedded FD sets, so callers use this to decide whether satisfaction and
+// maintenance checks need the JD rule (and pay its exponential worst case).
+func AllEmbedded(s *schema.Schema, fds fd.List) bool {
+	for _, f := range fds {
+		if !s.Embeds(f.Attrs()) {
+			return false
+		}
+	}
+	return true
+}
+
 // Assigned is an FD embedded in (and assigned to) a particular scheme: the
 // paper's F_i decomposition of an embedded cover.
 type Assigned struct {

@@ -27,11 +27,17 @@ import (
 // ErrViolation is wrapped by errors describing a rejected insert.
 var ErrViolation = errors.New("maintenance: insert violates dependencies")
 
-// Maintainer answers the maintenance problem for single-tuple inserts.
+// Maintainer answers the maintenance problem for single-tuple inserts and
+// deletes.
 type Maintainer interface {
 	// Insert checks the tuple and, when admissible, adds it to the state.
 	// A wrapped ErrViolation means the new state would be unsatisfying.
 	Insert(scheme int, t relation.Tuple) error
+	// Delete removes the tuple, reporting whether it was present. SAT is
+	// closed under subsets (a weak instance for p remains one for any
+	// p' ⊆ p), so deletions are always admissible and never return a
+	// violation.
+	Delete(scheme int, t relation.Tuple) (bool, error)
 	// State returns the maintained state (shared, not a copy).
 	State() *relation.State
 }
@@ -52,7 +58,16 @@ type guardFD struct {
 	f       fd.FD
 	lhsCols []int
 	rhsCols []int
-	index   map[string]string
+	index   map[string]*fdEntry
+}
+
+// fdEntry records the unique right-hand-side key seen for a left-hand-side
+// key, with a reference count of the distinct tuples carrying it. Deletes
+// decrement and drop the entry at zero, so a value binding is forgotten as
+// soon as no tuple witnesses it.
+type fdEntry struct {
+	rhs string
+	n   int
 }
 
 // NewGuard builds a guard from the schema and the per-scheme embedded cover
@@ -67,7 +82,7 @@ func NewGuard(s *schema.Schema, cover infer.AssignedList) *Guard {
 			at[a] = j
 		}
 		for _, f := range cover.ForScheme(i) {
-			gf := guardFD{f: f, index: make(map[string]string)}
+			gf := guardFD{f: f, index: make(map[string]*fdEntry)}
 			f.LHS.ForEach(func(attr int) bool {
 				gf.lhsCols = append(gf.lhsCols, at[attr])
 				return true
@@ -94,8 +109,16 @@ func key(t relation.Tuple, cols []int) string {
 
 // Insert implements Maintainer. It is O(|F_i|) expected time per call.
 func (g *Guard) Insert(scheme int, t relation.Tuple) error {
+	_, err := g.InsertReport(scheme, t)
+	return err
+}
+
+// InsertReport is Insert, additionally reporting whether the tuple was
+// actually added (false for admissible duplicates) — concurrent callers
+// need this for bookkeeping without re-probing the instance index.
+func (g *Guard) InsertReport(scheme int, t relation.Tuple) (bool, error) {
 	if scheme < 0 || scheme >= len(g.fds) {
-		return fmt.Errorf("maintenance: no scheme %d", scheme)
+		return false, fmt.Errorf("maintenance: no scheme %d", scheme)
 	}
 	fds := g.fds[scheme]
 	// First verify all FDs, then commit; a half-committed index would
@@ -103,17 +126,44 @@ func (g *Guard) Insert(scheme int, t relation.Tuple) error {
 	keys := make([][2]string, len(fds))
 	for j, gf := range fds {
 		lk, rk := key(t, gf.lhsCols), key(t, gf.rhsCols)
-		if prev, ok := gf.index[lk]; ok && prev != rk {
-			return fmt.Errorf("%w: %s in %s", ErrViolation,
+		if prev, ok := gf.index[lk]; ok && prev.rhs != rk {
+			return false, fmt.Errorf("%w: %s in %s", ErrViolation,
 				gf.f.Format(g.s.U), g.s.Name(scheme))
 		}
 		keys[j] = [2]string{lk, rk}
 	}
-	for j, gf := range fds {
-		gf.index[keys[j][0]] = keys[j][1]
+	if !g.st.Insts[scheme].Add(t) {
+		return false, nil // duplicate tuple: state and indexes unchanged
 	}
-	g.st.Insts[scheme].Add(t)
-	return nil
+	for j, gf := range fds {
+		if e, ok := gf.index[keys[j][0]]; ok {
+			e.n++
+		} else {
+			gf.index[keys[j][0]] = &fdEntry{rhs: keys[j][1], n: 1}
+		}
+	}
+	return true, nil
+}
+
+// Delete implements Maintainer. Deletions are always admissible; the work is
+// unwinding the FD indexes so a later insert is judged against the remaining
+// tuples only.
+func (g *Guard) Delete(scheme int, t relation.Tuple) (bool, error) {
+	if scheme < 0 || scheme >= len(g.fds) {
+		return false, fmt.Errorf("maintenance: no scheme %d", scheme)
+	}
+	if !g.st.Insts[scheme].Remove(t) {
+		return false, nil
+	}
+	for _, gf := range g.fds[scheme] {
+		lk := key(t, gf.lhsCols)
+		if e, ok := gf.index[lk]; ok {
+			if e.n--; e.n == 0 {
+				delete(gf.index, lk)
+			}
+		}
+	}
+	return true, nil
 }
 
 // State implements Maintainer.
@@ -140,17 +190,40 @@ func NewChaseMaintainer(s *schema.Schema, fds fd.List, jd bool, caps chase.Caps)
 
 // Insert implements Maintainer by trial insertion and a full chase.
 func (m *ChaseMaintainer) Insert(scheme int, t relation.Tuple) error {
+	_, err := m.InsertReport(scheme, t)
+	return err
+}
+
+// InsertReport is Insert, additionally reporting whether the tuple was
+// actually added. Duplicates short-circuit without a chase: re-adding a
+// present tuple cannot change satisfaction.
+func (m *ChaseMaintainer) InsertReport(scheme int, t relation.Tuple) (bool, error) {
+	if scheme < 0 || scheme >= len(m.st.Insts) {
+		return false, fmt.Errorf("maintenance: no scheme %d", scheme)
+	}
+	if m.st.Insts[scheme].Has(t) {
+		return false, nil
+	}
 	trial := m.st.Clone()
 	trial.Insts[scheme].Add(t)
 	ok, err := chase.Satisfies(trial, m.fds, m.jd, m.caps)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if !ok {
-		return fmt.Errorf("%w: chase found a contradiction", ErrViolation)
+		return false, fmt.Errorf("%w: chase found a contradiction", ErrViolation)
 	}
 	m.st.Insts[scheme].Add(t)
-	return nil
+	return true, nil
+}
+
+// Delete implements Maintainer. No chase is needed: SAT is closed under
+// subsets, so removing a tuple can never break satisfaction.
+func (m *ChaseMaintainer) Delete(scheme int, t relation.Tuple) (bool, error) {
+	if scheme < 0 || scheme >= len(m.st.Insts) {
+		return false, fmt.Errorf("maintenance: no scheme %d", scheme)
+	}
+	return m.st.Insts[scheme].Remove(t), nil
 }
 
 // State implements Maintainer.
@@ -167,12 +240,5 @@ func ForSchema(s *schema.Schema, fds fd.List, caps chase.Caps) (Maintainer, bool
 	if res.Independent {
 		return NewGuard(s, res.Cover), true, nil
 	}
-	embedded := true
-	for _, f := range fds {
-		if !s.Embeds(f.Attrs()) {
-			embedded = false
-			break
-		}
-	}
-	return NewChaseMaintainer(s, fds, !embedded, caps), false, nil
+	return NewChaseMaintainer(s, fds, !infer.AllEmbedded(s, fds), caps), false, nil
 }

@@ -231,3 +231,71 @@ func TestGuardUnknownScheme(t *testing.T) {
 		t.Fatal("unknown scheme must error")
 	}
 }
+
+func TestGuardDeleteRefcounts(t *testing.T) {
+	s := schema.MustParse("R(A,B,C)")
+	fds := fd.MustParse(s.U, "A -> B")
+	res, err := independence.Decide(s, fds)
+	if err != nil || !res.Independent {
+		t.Fatal("single-scheme schema must be independent")
+	}
+	g := NewGuard(s, res.Cover)
+	// Two tuples witness the binding 1→10.
+	if err := g.Insert(0, relation.Tuple{1, 10, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert(0, relation.Tuple{1, 10, 101}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate insert must not inflate the refcount.
+	if err := g.Insert(0, relation.Tuple{1, 10, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := g.Delete(0, relation.Tuple{1, 10, 100}); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	// One witness remains: the binding must still be enforced.
+	if err := g.Insert(0, relation.Tuple{1, 11, 102}); !errors.Is(err, ErrViolation) {
+		t.Fatalf("want violation while a witness remains, got %v", err)
+	}
+	if ok, _ := g.Delete(0, relation.Tuple{1, 10, 101}); !ok {
+		t.Fatal("delete of the second witness failed")
+	}
+	// No witnesses left: the binding is forgotten.
+	if err := g.Insert(0, relation.Tuple{1, 11, 102}); err != nil {
+		t.Fatalf("binding should be gone, got %v", err)
+	}
+	if ok, _ := g.Delete(0, relation.Tuple{9, 9, 9}); ok {
+		t.Fatal("deleted an absent tuple")
+	}
+	if _, err := g.Delete(99, relation.Tuple{1}); err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+}
+
+func TestChaseMaintainerDelete(t *testing.T) {
+	s := schema.MustParse("CD(C,D); CT(C,T); TD(T,D)")
+	fds := fd.MustParse(s.U, "C -> D; C -> T; T -> D")
+	m := NewChaseMaintainer(s, fds, false, chase.DefaultCaps)
+	// The paper's anomaly: after CD and CT, the contradicting TD tuple is
+	// rejected — but deleting CD makes it admissible.
+	if err := m.Insert(0, relation.Tuple{1, 10}); err != nil { // CD(c,d)
+		t.Fatal(err)
+	}
+	if err := m.Insert(1, relation.Tuple{1, 20}); err != nil { // CT(c,t)
+		t.Fatal(err)
+	}
+	bad := relation.Tuple{11, 20} // TD stores (D,T): d'≠d with the same t
+	if err := m.Insert(2, bad); !errors.Is(err, ErrViolation) {
+		t.Fatalf("want violation, got %v", err)
+	}
+	if ok, err := m.Delete(0, relation.Tuple{1, 10}); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if err := m.Insert(2, bad); err != nil {
+		t.Fatalf("after deleting the conflicting tuple, insert must pass: %v", err)
+	}
+	if m.State().TupleCount() != 2 {
+		t.Fatalf("TupleCount = %d, want 2", m.State().TupleCount())
+	}
+}

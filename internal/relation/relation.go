@@ -21,6 +21,7 @@ type Value int64
 // Dict maps values to human-readable names. The zero value is usable.
 type Dict struct {
 	names []string
+	bound []bool // whether names[v] is a real binding (Define leaves gaps)
 	index map[string]Value
 }
 
@@ -34,16 +35,37 @@ func (d *Dict) Value(name string) Value {
 	}
 	v := Value(len(d.names))
 	d.names = append(d.names, name)
+	d.bound = append(d.bound, true)
 	d.index[name] = v
 	return v
 }
 
 // Name returns the display name of v, or its numeral if unnamed.
 func (d *Dict) Name(v Value) string {
-	if d != nil && v >= 0 && int(v) < len(d.names) {
+	if d != nil && v >= 0 && int(v) < len(d.names) && d.bound[v] {
 		return d.names[v]
 	}
 	return fmt.Sprintf("%d", int64(v))
+}
+
+// Define binds v to name directly, growing the name table as needed. It lets
+// callers that allocate values themselves (e.g. a sharded concurrent dict)
+// materialize a plain Dict for display; values in the gaps render as
+// numerals.
+func (d *Dict) Define(v Value, name string) {
+	if v < 0 {
+		panic("relation: Define with negative value")
+	}
+	if d.index == nil {
+		d.index = make(map[string]Value)
+	}
+	for int(v) >= len(d.names) {
+		d.names = append(d.names, "")
+		d.bound = append(d.bound, false)
+	}
+	d.names[v] = name
+	d.bound[v] = true
+	d.index[name] = v
 }
 
 // Tuple is a row of an instance. Its values are ordered by ascending
@@ -70,12 +92,12 @@ func (t Tuple) Clone() Tuple {
 type Instance struct {
 	Attrs  attrset.Set
 	Tuples []Tuple
-	index  map[string]bool
+	index  map[string]int // tuple key → position in Tuples
 }
 
 // NewInstance creates an empty instance over the given scheme.
 func NewInstance(attrs attrset.Set) *Instance {
-	return &Instance{Attrs: attrs, index: make(map[string]bool)}
+	return &Instance{Attrs: attrs, index: make(map[string]int)}
 }
 
 // Len returns the number of tuples.
@@ -84,36 +106,59 @@ func (in *Instance) Len() int { return len(in.Tuples) }
 // Width returns the arity of the instance.
 func (in *Instance) Width() int { return in.Attrs.Len() }
 
+// reindex (re)builds the key index; callers may have constructed the
+// instance literally with a nil index.
+func (in *Instance) reindex() {
+	if in.index == nil {
+		in.index = make(map[string]int, len(in.Tuples))
+		for i, u := range in.Tuples {
+			in.index[u.key()] = i
+		}
+	}
+}
+
 // Add inserts a tuple (deduplicating). It panics if the arity is wrong,
 // since that is always a programming error.
 func (in *Instance) Add(t Tuple) bool {
 	if len(t) != in.Width() {
 		panic(fmt.Sprintf("relation: tuple arity %d does not match scheme arity %d", len(t), in.Width()))
 	}
-	if in.index == nil {
-		in.index = make(map[string]bool)
-		for _, u := range in.Tuples {
-			in.index[u.key()] = true
-		}
-	}
+	in.reindex()
 	k := t.key()
-	if in.index[k] {
+	if _, ok := in.index[k]; ok {
 		return false
 	}
-	in.index[k] = true
+	in.index[k] = len(in.Tuples)
 	in.Tuples = append(in.Tuples, t.Clone())
+	return true
+}
+
+// Remove deletes a tuple, reporting whether it was present. The last tuple
+// is swapped into the vacated slot, so Tuples order is not stable across
+// removals.
+func (in *Instance) Remove(t Tuple) bool {
+	in.reindex()
+	k := t.key()
+	pos, ok := in.index[k]
+	if !ok {
+		return false
+	}
+	last := len(in.Tuples) - 1
+	if pos != last {
+		in.Tuples[pos] = in.Tuples[last]
+		in.index[in.Tuples[pos].key()] = pos
+	}
+	in.Tuples[last] = nil
+	in.Tuples = in.Tuples[:last]
+	delete(in.index, k)
 	return true
 }
 
 // Has reports whether the tuple is present.
 func (in *Instance) Has(t Tuple) bool {
-	if in.index == nil {
-		in.index = make(map[string]bool)
-		for _, u := range in.Tuples {
-			in.index[u.key()] = true
-		}
-	}
-	return in.index[t.key()]
+	in.reindex()
+	_, ok := in.index[t.key()]
+	return ok
 }
 
 // Clone deep-copies the instance.

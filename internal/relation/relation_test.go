@@ -198,3 +198,53 @@ func TestDictNames(t *testing.T) {
 		t.Fatal("unnamed value must print numerically")
 	}
 }
+
+func TestInstanceRemove(t *testing.T) {
+	in := NewInstance(attrset.Of(0, 1))
+	ts := []Tuple{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	for _, tu := range ts {
+		in.Add(tu)
+	}
+	if in.Remove(Tuple{9, 9}) {
+		t.Fatal("removed an absent tuple")
+	}
+	// Remove from the middle: the swap must keep the index consistent.
+	if !in.Remove(Tuple{3, 4}) {
+		t.Fatal("failed to remove a present tuple")
+	}
+	if in.Len() != 3 || in.Has(Tuple{3, 4}) {
+		t.Fatal("remove left the tuple behind")
+	}
+	for _, tu := range []Tuple{{1, 2}, {5, 6}, {7, 8}} {
+		if !in.Has(tu) {
+			t.Fatalf("remove lost unrelated tuple %v", tu)
+		}
+	}
+	// Remove the (current) last tuple, then everything else.
+	for _, tu := range []Tuple{{1, 2}, {5, 6}, {7, 8}} {
+		if !in.Remove(tu) {
+			t.Fatalf("failed to remove %v", tu)
+		}
+	}
+	if in.Len() != 0 {
+		t.Fatalf("Len = %d after removing everything", in.Len())
+	}
+	// Add after remove must still deduplicate correctly.
+	if !in.Add(Tuple{3, 4}) || in.Add(Tuple{3, 4}) {
+		t.Fatal("re-add after remove broken")
+	}
+}
+
+func TestDictDefine(t *testing.T) {
+	var d Dict
+	d.Define(Value(10), "ten")
+	if d.Name(Value(10)) != "ten" {
+		t.Fatal("Define did not bind the name")
+	}
+	if d.Name(Value(3)) != "3" {
+		t.Fatal("values in the gap must render as numerals")
+	}
+	if d.Value("ten") != Value(10) {
+		t.Fatal("Define did not register the reverse mapping")
+	}
+}
