@@ -391,6 +391,117 @@ func BenchmarkEngineInsertBatch(b *testing.B) {
 	}
 }
 
+// --- E5: durability -------------------------------------------------------
+//
+// The WAL's claim is that group commit makes durability cheap: concurrent
+// appenders share one fsync, and batches amortize both locking and framing.
+// DurableInsert compares sync modes across batch sizes (ns/op is per
+// tuple); GroupCommit drives parallel single inserts so the coalescing
+// shows up as appends-per-fsync in -v output.
+
+func durableStarStore(b *testing.B, noFsync bool) (*DurableStore, []string) {
+	b.Helper()
+	sch := starSchema(b, 4, 3)
+	ds, err := sch.OpenDurableStore(b.TempDir(), DurableOptions{NoFsync: noFsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ds.Close() })
+	return ds, sch.Relations()
+}
+
+// durableRow builds a functionally consistent row for one of the star's
+// relations: every value is a pure function of (attribute, seed).
+func durableRow(sch *Schema, rel string, seed int64) map[string]string {
+	attrs, _ := sch.RelationAttrs(rel)
+	row := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		row[a] = fmt.Sprintf("%s_%d", a, seed)
+	}
+	return row
+}
+
+// batchInsertLoop drives b.N tuples through insert in size-chunks. The
+// durable and in-memory benchmarks share it so the durability-tax ratio
+// compares strictly identical work.
+func batchInsertLoop(b *testing.B, sch *Schema, rels []string, size int, insert func([]BatchOp) error) {
+	var seed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i += size {
+		k := size
+		if rem := b.N - i; rem < k {
+			k = rem
+		}
+		ops := make([]BatchOp, k)
+		for j := range ops {
+			seed++
+			rel := rels[seed%int64(len(rels))]
+			ops[j] = BatchOp{Rel: rel, Row: durableRow(sch, rel, seed)}
+		}
+		if err := insert(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDurableInsert(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		noFsync bool
+	}{{"sync", false}, {"nosync", true}} {
+		for _, size := range []int{1, 64, 256} {
+			b.Run(fmt.Sprintf("%s/batch=%d", mode.name, size), func(b *testing.B) {
+				ds, rels := durableStarStore(b, mode.noFsync)
+				batchInsertLoop(b, ds.schema, rels, size, ds.InsertBatch)
+			})
+		}
+	}
+}
+
+// BenchmarkMemoryInsertBaseline is the in-memory twin of
+// BenchmarkDurableInsert: the ratio between the two is the durability tax
+// (the acceptance bar is ≤5× at batch ≥ 64).
+func BenchmarkMemoryInsertBaseline(b *testing.B) {
+	for _, size := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			sch := starSchema(b, 4, 3)
+			cs, err := sch.OpenConcurrentStore()
+			if err != nil {
+				b.Fatal(err)
+			}
+			batchInsertLoop(b, sch, sch.Relations(), size, cs.InsertBatch)
+		})
+	}
+}
+
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		noFsync bool
+	}{{"sync", false}, {"nosync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ds, rels := durableStarStore(b, mode.noFsync)
+			sch := ds.schema
+			var seed atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					s := seed.Add(1)
+					rel := rels[s%int64(len(rels))]
+					if err := ds.Insert(rel, durableRow(sch, rel, s)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			ws := ds.WAL()
+			if ws.Syncs > 0 {
+				b.ReportMetric(float64(ws.Appends)/float64(ws.Syncs), "appends/fsync")
+			}
+		})
+	}
+}
+
 func BenchmarkEngineSnapshot(b *testing.B) {
 	e, s := engineWorkload(b, workload.ShapeStar)
 	n := s.Size()

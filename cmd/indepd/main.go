@@ -5,30 +5,41 @@
 // either way every write is validated, so the served state always has a
 // weak instance.
 //
+// With -data the store is durable: every acknowledged write is appended to
+// a write-ahead log (group commit, one fsync per commit group), restarts
+// recover the exact pre-crash state, and checkpoints bound replay time. A
+// graceful shutdown (SIGINT/SIGTERM) drains connections, writes a final
+// checkpoint, and closes the log.
+//
 // Usage:
 //
 //	indepd -schema 'CT(C,T); CS(C,S); CHR(C,H,R)' -fds 'C -> T; C H -> R'
-//	indepd -file design.txt -addr :8080
+//	indepd -file design.txt -addr :8080 -data /var/lib/indepd
 //
-// Endpoints:
+// Endpoints (also mounted under /v1/):
 //
-//	POST   /insert    {"relation":"CT","row":{"C":"cs101","T":"jones"}}
-//	POST   /batch     {"ops":[{"relation":...,"row":{...}}, ...]}  (atomic)
-//	DELETE /tuple     {"relation":"CT","row":{...}}
-//	GET    /state     full state as JSON rows
-//	GET    /analysis  independence analysis
-//	GET    /stats     per-relation counters and validate latency
+//	POST   /insert      {"relation":"CT","row":{"C":"cs101","T":"jones"}}
+//	POST   /batch       {"ops":[{"relation":...,"row":{...}}, ...]}  (atomic)
+//	DELETE /tuple       {"relation":"CT","row":{...}}
+//	POST   /checkpoint  snapshot state, truncate the log (durable only)
+//	GET    /state       full state as JSON rows
+//	GET    /analysis    independence analysis
+//	GET    /stats       per-relation counters, validate latency, WAL depth
 //
 // Rejected writes answer 409 with {"rejected":true}; malformed ones 400.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"indep"
@@ -39,6 +50,8 @@ func main() {
 	schemaSrc := flag.String("schema", "", "schema declaration, e.g. 'R1(A,B); R2(B,C)'")
 	fdSrc := flag.String("fds", "", "functional dependencies, e.g. 'A -> B; B -> C'")
 	file := flag.String("file", "", "read schema/fds from a declaration file")
+	data := flag.String("data", "", "data directory for the write-ahead log (empty: in-memory only)")
+	noFsync := flag.Bool("nofsync", false, "durable mode without fsync (survives process crashes, not power loss)")
 	flag.Parse()
 
 	var sch *indep.Schema
@@ -54,9 +67,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	store, err := sch.OpenConcurrentStore()
-	if err != nil {
-		fatal(err)
+	var store *indep.ConcurrentStore
+	var durable *indep.DurableStore
+	if *data != "" {
+		durable, err = sch.OpenDurableStore(*data, indep.DurableOptions{NoFsync: *noFsync})
+		if err != nil {
+			fatal(err)
+		}
+		store = durable.ConcurrentStore
+		rec := durable.Recovery()
+		log.Printf("indepd: recovered %s: checkpoint seq %d (%d tuples), %d log records over %d segments (%d bytes torn tail truncated, %d skipped)",
+			*data, rec.CheckpointSeq, rec.CheckpointTuples, rec.Records, rec.Segments, rec.TruncatedBytes, rec.Skipped)
+	} else {
+		store, err = sch.OpenConcurrentStore()
+		if err != nil {
+			fatal(err)
+		}
 	}
 	log.Printf("indepd: %s", sch)
 	if store.FastPath() {
@@ -67,12 +93,40 @@ func main() {
 	log.Printf("indepd: listening on %s", *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(sch, store),
+		Handler:           newServer(sch, store, durable),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	// Restore default signal behavior immediately: a second SIGINT/SIGTERM
+	// during a slow drain or a hung final checkpoint must still kill us.
+	stop()
+	log.Printf("indepd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("indepd: shutdown: %v", err)
+	}
+	if durable != nil {
+		if err := durable.Checkpoint(); err != nil {
+			log.Printf("indepd: final checkpoint: %v", err)
+		} else {
+			log.Printf("indepd: final checkpoint written")
+		}
+		if err := durable.Close(); err != nil {
+			log.Printf("indepd: close: %v", err)
+		}
+	}
 }
 
 func fatal(err error) {
@@ -80,23 +134,35 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-// server bundles the schema and store behind the HTTP API.
+// server bundles the schema and store behind the HTTP API. durable is nil
+// when the daemon runs in-memory.
 type server struct {
-	sch   *indep.Schema
-	store *indep.ConcurrentStore
+	sch     *indep.Schema
+	store   *indep.ConcurrentStore
+	durable *indep.DurableStore
 }
 
 // newServer builds the daemon's handler; split from main so tests can mount
-// it on httptest.
-func newServer(sch *indep.Schema, store *indep.ConcurrentStore) http.Handler {
-	s := &server{sch: sch, store: store}
+// it on httptest. Every route is mounted bare and under /v1/ so clients can
+// pin the versioned path.
+func newServer(sch *indep.Schema, store *indep.ConcurrentStore, durable *indep.DurableStore) http.Handler {
+	s := &server{sch: sch, store: store, durable: durable}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /insert", s.handleInsert)
-	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("DELETE /tuple", s.handleDelete)
-	mux.HandleFunc("GET /state", s.handleState)
-	mux.HandleFunc("GET /analysis", s.handleAnalysis)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	handle := func(pattern string, h http.HandlerFunc) {
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic("indepd: route pattern without method: " + pattern)
+		}
+		mux.HandleFunc(pattern, h)
+		mux.HandleFunc(method+" /v1"+path, h)
+	}
+	handle("POST /insert", s.handleInsert)
+	handle("POST /batch", s.handleBatch)
+	handle("DELETE /tuple", s.handleDelete)
+	handle("POST /checkpoint", s.handleCheckpoint)
+	handle("GET /state", s.handleState)
+	handle("GET /analysis", s.handleAnalysis)
+	handle("GET /stats", s.handleStats)
 	return mux
 }
 
@@ -117,14 +183,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeErr maps an error to 409 for constraint rejections, 500 when the
-// chase ran out of budget (a server-side limit, not the client's fault),
-// and 400 for malformed requests.
+// writeErr maps an error to 409 for constraint rejections, 503 when the
+// write-ahead log could not persist an admitted write (the store needs
+// operator attention), 500 when the chase ran out of budget (a server-side
+// limit, not the client's fault), and 400 for malformed requests.
 func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
 	case indep.Rejected(err):
 		code = http.StatusConflict
+	case indep.DurabilityFailed(err):
+		code = http.StatusServiceUnavailable
 	case indep.Overloaded(err):
 		code = http.StatusInternalServerError
 	}
@@ -188,6 +257,26 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted})
 }
 
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.durable == nil {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": "store is not durable; start indepd with -data"})
+		return
+	}
+	start := time.Now()
+	if err := s.durable.Checkpoint(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	st := s.durable.WAL()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"elapsedNs":  time.Since(start).Nanoseconds(),
+		"walBytes":   st.TotalBytes,
+		"walSegment": st.ActiveSeq,
+	})
+}
+
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Snapshot()
 	rels := make(map[string][]map[string]string, len(s.sch.Relations()))
@@ -215,9 +304,9 @@ func (s *server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := s.store.Stats()
-	out := make([]map[string]any, len(stats))
+	rels := make([]map[string]any, len(stats))
 	for i, st := range stats {
-		out[i] = map[string]any{
+		rels[i] = map[string]any{
 			"relation": st.Relation,
 			"tuples":   st.Tuples,
 			"inserts":  st.Inserts,
@@ -225,6 +314,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"deletes":  st.Deletes,
 			"p50Ns":    st.P50.Nanoseconds(),
 			"p99Ns":    st.P99.Nanoseconds(),
+		}
+	}
+	out := map[string]any{"relations": rels, "durable": s.durable != nil}
+	if s.durable != nil {
+		ws := s.durable.WAL()
+		out["wal"] = map[string]any{
+			"segments":     ws.Segments,
+			"oldestSeq":    ws.OldestSeq,
+			"activeSeq":    ws.ActiveSeq,
+			"activeBytes":  ws.ActiveBytes,
+			"totalBytes":   ws.TotalBytes,
+			"appends":      ws.Appends,
+			"syncs":        ws.Syncs,
+			"commitGroups": ws.CommitGroups,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)

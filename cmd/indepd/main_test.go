@@ -20,7 +20,24 @@ func newTestServer(t *testing.T, schemaSrc, fdSrc string) (*httptest.Server, *in
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(sch, store))
+	ts := httptest.NewServer(newServer(sch, store, nil))
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+// newDurableTestServer mounts the handler over a durable store in dir.
+func newDurableTestServer(t *testing.T, dir, schemaSrc, fdSrc string) (*httptest.Server, *indep.DurableStore) {
+	t.Helper()
+	sch, err := indep.Parse(schemaSrc, fdSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := sch.OpenDurableStore(dir, indep.DurableOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	ts := httptest.NewServer(newServer(sch, store.ConcurrentStore, store))
 	t.Cleanup(ts.Close)
 	return ts, store
 }
@@ -160,22 +177,89 @@ func TestServerAnalysisAndStats(t *testing.T) {
 		"relation": "CT", "row": map[string]string{"C": "cs101", "T": "smith"},
 	})
 
-	req, _ := http.NewRequest("GET", ts.URL+"/stats", nil)
-	resp2, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
+	resp, out = do(t, "GET", ts.URL+"/stats", nil)
+	if resp.StatusCode != http.StatusOK || out["durable"] != false {
+		t.Fatalf("stats: %d %v", resp.StatusCode, out)
 	}
-	defer resp2.Body.Close()
-	var stats []map[string]any
-	if err := json.NewDecoder(resp2.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
+	if _, ok := out["wal"]; ok {
+		t.Fatalf("in-memory stats should omit wal: %v", out)
 	}
+	stats := out["relations"].([]any)
 	if len(stats) != 3 {
 		t.Fatalf("stats for %d relations, want 3", len(stats))
 	}
-	ct := stats[0]
+	ct := stats[0].(map[string]any)
 	if ct["relation"] != "CT" || ct["inserts"].(float64) != 1 || ct["rejects"].(float64) != 1 {
 		t.Fatalf("CT stats: %v", ct)
+	}
+
+	// In-memory servers refuse /checkpoint.
+	resp, out = do(t, "POST", ts.URL+"/checkpoint", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint on in-memory store: %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestServerV1Aliases(t *testing.T) {
+	ts, _ := newTestServer(t, "CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	resp, out := do(t, "POST", ts.URL+"/v1/insert", map[string]any{
+		"relation": "CT", "row": map[string]string{"C": "cs1", "T": "a"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/insert: %d %v", resp.StatusCode, out)
+	}
+	resp, out = do(t, "GET", ts.URL+"/v1/state", nil)
+	if resp.StatusCode != http.StatusOK || out["rows"].(float64) != 1 {
+		t.Fatalf("/v1/state: %d %v", resp.StatusCode, out)
+	}
+	resp, _ = do(t, "GET", ts.URL+"/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats: %d", resp.StatusCode)
+	}
+}
+
+func TestServerDurableCheckpointAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	const schemaSrc, fdSrc = "CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R"
+	ts, store1 := newDurableTestServer(t, dir, schemaSrc, fdSrc)
+
+	for i, row := range []map[string]string{
+		{"C": "cs101", "T": "jones"},
+		{"C": "cs102", "T": "smith"},
+	} {
+		resp, out := do(t, "POST", ts.URL+"/v1/insert", map[string]any{"relation": "CT", "row": row})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert %d: %d %v", i, resp.StatusCode, out)
+		}
+	}
+
+	// WAL depth shows up in stats.
+	resp, out := do(t, "GET", ts.URL+"/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK || out["durable"] != true {
+		t.Fatalf("stats: %d %v", resp.StatusCode, out)
+	}
+	wal := out["wal"].(map[string]any)
+	if wal["appends"].(float64) < 2 || wal["totalBytes"].(float64) <= 0 {
+		t.Fatalf("wal stats: %v", wal)
+	}
+
+	resp, out = do(t, "POST", ts.URL+"/v1/checkpoint", nil)
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("checkpoint: %d %v", resp.StatusCode, out)
+	}
+
+	// Restart: close the first store (the directory is flock-guarded) and
+	// serve the same directory from a second one.
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts2, store2 := newDurableTestServer(t, dir, schemaSrc, fdSrc)
+	if store2.Recovery().CheckpointSeq == 0 {
+		t.Fatalf("restart ignored checkpoint: %+v", store2.Recovery())
+	}
+	resp, out = do(t, "GET", ts2.URL+"/v1/state", nil)
+	if resp.StatusCode != http.StatusOK || out["rows"].(float64) != 2 {
+		t.Fatalf("restarted state: %d %v", resp.StatusCode, out)
 	}
 }
 

@@ -85,7 +85,9 @@ type BatchOp struct {
 // InsertBatch validates and adds the rows atomically: either every row is
 // admitted or the state is unchanged and the first violation is returned.
 // On the fast path each involved relation's stripe is taken once for the
-// whole batch, amortizing locking.
+// whole batch, amortizing locking. A batch is limited to 65536 rows
+// (engine.MaxBatchOps) so it always fits one write-ahead-log record on a
+// durable store; split larger loads into multiple batches.
 func (cs *ConcurrentStore) InsertBatch(ops []BatchOp) error {
 	eops := make([]engine.Op, len(ops))
 	for k, op := range ops {

@@ -1,0 +1,269 @@
+package indep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"indep/internal/engine"
+	"indep/internal/relation"
+	"indep/internal/wal"
+)
+
+// ErrDurability wraps write errors that mean the in-memory admission
+// succeeded but the write-ahead log could not make it durable (fsync
+// failure, closed or failed log). It is a server-side fault, not a verdict
+// on the row: callers should treat the store as failed and re-open it.
+var ErrDurability = errors.New("indep: durability failure")
+
+// DurabilityFailed reports whether an error is a durability failure.
+func DurabilityFailed(err error) bool { return errors.Is(err, ErrDurability) }
+
+// DurableStore is a ConcurrentStore backed by a write-ahead log and
+// snapshot checkpoints: every acknowledged write survives a crash, and
+// OpenDurableStore recovers the exact pre-crash state.
+//
+// Durability rides on the paper's main theorem. Because admission for an
+// independent schema is a local O(|F_i|) decision, the redo log needs only
+// the admitted (relation, tuple) pairs: recovery replays them through the
+// same per-relation guards — concurrently correct, never re-running a
+// global chase — and the recovered state passes the same local-consistency
+// invariants as a live one. Non-independent schemas work too; their
+// records replay through the serialized chase, which is the same honest
+// cost they pay online.
+//
+// All ConcurrentStore methods are inherited and remain safe for concurrent
+// use; writes return only after their log records are durable (per the
+// configured sync mode).
+type DurableStore struct {
+	*ConcurrentStore
+	dir    string
+	log    *wal.Log
+	unlock func() // releases the data-directory lock
+
+	mu       sync.Mutex // serializes Checkpoint and Close
+	closed   bool
+	recovery RecoveryStats
+}
+
+// DurableOptions tunes OpenDurableStore. The zero value is the safe
+// default: fsync on every commit group, 16 MiB segments.
+type DurableOptions struct {
+	// NoFsync trades power-loss durability for speed: records are written
+	// but never fsynced. Acknowledged writes still survive a process
+	// crash.
+	NoFsync bool
+	// SegmentBytes overrides the segment rotation threshold.
+	SegmentBytes int64
+}
+
+// RecoveryStats reports what recovery-on-open found.
+type RecoveryStats struct {
+	CheckpointSeq    uint64 // 0 when no checkpoint was loaded
+	CheckpointTuples int    // tuples restored from the checkpoint
+	Segments         int    // log segments scanned
+	Records          int    // committed records replayed
+	TruncatedBytes   int64  // torn-tail bytes removed from the final segment
+	Skipped          int    // records the engine re-rejected (corruption)
+}
+
+// OpenDurableStore opens (or creates) a durable maintained database in
+// dir. On open it recovers: the latest checkpoint is loaded and
+// re-admitted through the engine, the write-ahead log after it is
+// replayed, and a torn tail left by a crash is detected by CRC and
+// truncated. Only then does the store accept writes, appending every
+// commit to the log via a group-commit writer that coalesces concurrent
+// fsyncs.
+func (s *Schema) OpenDurableStore(dir string, opts DurableOptions) (*DurableStore, error) {
+	cs, err := s.OpenConcurrentStore()
+	if err != nil {
+		return nil, err
+	}
+	eng := cs.eng
+	// Exclusive directory lock (released on Close or process death): two
+	// live stores interleaving one WAL directory would fork its history.
+	unlock, err := wal.LockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			unlock()
+		}
+	}()
+	ds := &DurableStore{
+		ConcurrentStore: cs,
+		dir:             dir,
+		unlock:          unlock,
+	}
+
+	// Phase 1: checkpoint. Dictionary bindings restore to their exact
+	// values; tuples re-admit through the guards as one atomic batch, so a
+	// checkpoint that somehow encodes an inconsistent state is rejected
+	// here rather than served.
+	ck, err := wal.LatestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	fromSeq := uint64(0)
+	if ck != nil {
+		if len(ck.Tuples) != s.s.Size() {
+			return nil, fmt.Errorf("indep: checkpoint has %d relations, schema has %d", len(ck.Tuples), s.s.Size())
+		}
+		for _, e := range ck.Dict {
+			if err := eng.Dict().Restore(e.Value, e.Name); err != nil {
+				return nil, fmt.Errorf("indep: corrupt checkpoint dictionary: %w", err)
+			}
+		}
+		var ops []engine.Op
+		for i, tuples := range ck.Tuples {
+			want := s.s.Attrs(i).Len()
+			for _, t := range tuples {
+				if len(t) != want {
+					return nil, fmt.Errorf("indep: checkpoint tuple arity %d in %s (want %d)", len(t), s.s.Name(i), want)
+				}
+				ops = append(ops, engine.Op{Scheme: i, Tuple: t})
+			}
+		}
+		total := len(ops)
+		// Re-admit in MaxBatchOps chunks. Each chunk's trial state is a
+		// subset of the checkpointed (consistent) state, and SAT is closed
+		// under subsets, so chunking cannot turn a good checkpoint away.
+		for len(ops) > 0 {
+			k := min(len(ops), engine.MaxBatchOps)
+			if err := eng.Apply(engine.Commit{Ops: ops[:k]}); err != nil {
+				return nil, fmt.Errorf("indep: checkpoint state fails admission: %w", err)
+			}
+			ops = ops[k:]
+		}
+		fromSeq = ck.Seq
+		ds.recovery.CheckpointSeq = ck.Seq
+		ds.recovery.CheckpointTuples = total
+	}
+
+	// Phase 2: log replay. Records re-admit through the guards; a record
+	// the engine rejects is counted and skipped (the log promised it was
+	// admissible once — a reject means the surrounding bytes lied).
+	rs, err := wal.Replay(dir, fromSeq, func(rec wal.Record) error {
+		switch rec.Kind {
+		case wal.KindIntern:
+			if err := eng.Dict().Restore(rec.Value, rec.Name); err != nil {
+				return fmt.Errorf("%w: %v", wal.ErrSkip, err)
+			}
+			return nil
+		default:
+			c := engine.Commit{Ops: make([]engine.Op, len(rec.Ops)), Delete: rec.Kind == wal.KindDelete}
+			for i, op := range rec.Ops {
+				if op.Rel < 0 || op.Rel >= s.s.Size() {
+					return fmt.Errorf("%w: record addresses scheme %d", wal.ErrSkip, op.Rel)
+				}
+				c.Ops[i] = engine.Op{Scheme: op.Rel, Tuple: op.Tuple}
+			}
+			if err := eng.Apply(c); err != nil {
+				if Rejected(err) {
+					return fmt.Errorf("%w: %v", wal.ErrSkip, err)
+				}
+				return err
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds.recovery.Segments = rs.Segments
+	ds.recovery.Records = rs.Records
+	ds.recovery.TruncatedBytes = rs.TruncatedBytes
+	ds.recovery.Skipped = rs.Skipped
+
+	// Phase 3: go live. The log opens a fresh segment; the dictionary hook
+	// journals new bindings under the shard lock (so a binding is durable
+	// no later than its first use) and the engine hook journals every
+	// commit under the relation locks (so per-relation log order equals
+	// admission order).
+	walOpts := wal.Options{SegmentBytes: opts.SegmentBytes}
+	if opts.NoFsync {
+		walOpts.Sync = wal.SyncNever
+	}
+	log, err := wal.OpenLog(dir, walOpts)
+	if err != nil {
+		return nil, err
+	}
+	ds.log = log
+	eng.Dict().SetInternHook(func(v relation.Value, name string) {
+		log.Enqueue(wal.Intern(v, name))
+	})
+	eng.SetCommitHook(func(c engine.Commit) func() error {
+		var recs []wal.Record
+		switch {
+		case c.Delete:
+			// Delete records are single-op; a multi-op delete commit (none
+			// exist today, but the Commit type allows it) becomes one
+			// contiguous run of records under a single wait.
+			recs = make([]wal.Record, len(c.Ops))
+			for i, op := range c.Ops {
+				recs[i] = wal.Delete(op.Scheme, op.Tuple)
+			}
+		case len(c.Ops) == 1:
+			recs = []wal.Record{wal.Insert(c.Ops[0].Scheme, c.Ops[0].Tuple)}
+		default:
+			ops := make([]wal.TupleOp, len(c.Ops))
+			for i, op := range c.Ops {
+				ops[i] = wal.TupleOp{Rel: op.Scheme, Tuple: op.Tuple}
+			}
+			recs = []wal.Record{wal.Batch(ops)}
+		}
+		t := log.Append(recs...)
+		return func() error {
+			if err := t.Wait(); err != nil {
+				return fmt.Errorf("%w: %v", ErrDurability, err)
+			}
+			return nil
+		}
+	})
+	ok = true
+	return ds, nil
+}
+
+// Recovery reports what recovery-on-open found (zero stats for a fresh
+// directory).
+func (ds *DurableStore) Recovery() RecoveryStats { return ds.recovery }
+
+// WAL returns a point-in-time view of the write-ahead log: segment depth,
+// bytes of replay debt, append and fsync counts.
+func (ds *DurableStore) WAL() wal.LogStats { return ds.log.Stats() }
+
+// Checkpoint serializes a consistent snapshot of the store (state and
+// dictionary) next to the log and truncates the segments it covers. The
+// cut is exact: the log rotates at the snapshot point while every state
+// lock is held, so the checkpoint plus the remaining segments always
+// reproduce the current state. Concurrent writes proceed during the disk
+// write; only the in-memory snapshot blocks them briefly.
+func (ds *DurableStore) Checkpoint() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.closed {
+		return fmt.Errorf("indep: store is closed")
+	}
+	var seq uint64
+	st := ds.eng.SnapshotWith(func() { seq = ds.log.Rotate() })
+	if err := wal.WriteCheckpoint(ds.dir, wal.NewCheckpoint(seq, st)); err != nil {
+		return err
+	}
+	return ds.log.RemoveBefore(seq)
+}
+
+// Close flushes and closes the log. Writes after Close fail; the in-memory
+// store remains readable.
+func (ds *DurableStore) Close() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.closed {
+		return nil
+	}
+	ds.closed = true
+	err := ds.log.Close()
+	ds.unlock()
+	return err
+}

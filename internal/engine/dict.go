@@ -18,6 +18,12 @@ const dictShards = 64
 // reverse lookup touch exactly one stripe and never a global lock.
 type Dict struct {
 	shards [dictShards]dictShard
+	// internHook, when set, observes every fresh allocation while the
+	// shard lock is still held. Durable stores use it to log (value, name)
+	// bindings: because the hook runs under the lock, its log entries are
+	// enqueued before any operation that read the value can log itself, so
+	// a binding is always durable no later than its first use.
+	internHook func(v relation.Value, name string)
 }
 
 type dictShard struct {
@@ -60,7 +66,54 @@ func (d *Dict) Value(name string) relation.Value {
 	v = relation.Value(len(sh.names)*dictShards + si)
 	sh.names = append(sh.names, name)
 	sh.index[name] = v
+	if d.internHook != nil {
+		d.internHook(v, name)
+	}
 	return v
+}
+
+// SetInternHook installs the allocation observer. Set it before the Dict
+// is used concurrently (or while no interning can race); the hook itself
+// is called with the owning shard's lock held and must not re-enter the
+// Dict.
+func (d *Dict) SetInternHook(h func(v relation.Value, name string)) { d.internHook = h }
+
+// Restore re-binds a (value, name) pair recovered from a checkpoint or
+// intern log record, without firing the intern hook. Pairs must arrive in
+// ascending value order per shard — the order Dict allocates and the
+// recovery sources preserve — so allocation resumes seamlessly after the
+// restored prefix. Restoring an already-present pair is a no-op; a
+// mismatch reports corruption.
+func (d *Dict) Restore(v relation.Value, name string) error {
+	if v < 0 {
+		return fmt.Errorf("engine: restore of negative value %d", int64(v))
+	}
+	si := int(v) % dictShards
+	if shardOf(name) != si {
+		return fmt.Errorf("engine: dictionary value %d does not hash to its shard for %q", int64(v), name)
+	}
+	idx := int(v) / dictShards
+	sh := &d.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	switch {
+	case idx < len(sh.names):
+		if sh.names[idx] != name {
+			return fmt.Errorf("engine: dictionary value %d bound to %q and %q", int64(v), sh.names[idx], name)
+		}
+		return nil
+	case idx > len(sh.names):
+		return fmt.Errorf("engine: dictionary gap restoring value %d", int64(v))
+	}
+	if prev, ok := sh.index[name]; ok {
+		return fmt.Errorf("engine: dictionary name %q bound to values %d and %d", name, int64(prev), int64(v))
+	}
+	if sh.index == nil {
+		sh.index = make(map[string]relation.Value)
+	}
+	sh.names = append(sh.names, name)
+	sh.index[name] = v
+	return nil
 }
 
 // Lookup returns the value of an already-interned name without interning it.

@@ -36,6 +36,25 @@ type Op struct {
 	Tuple  relation.Tuple
 }
 
+// Commit describes one successful state mutation: the ops that actually
+// changed the state (duplicates and no-op deletes are excluded), and
+// whether they were deletions.
+type Commit struct {
+	Ops    []Op
+	Delete bool
+}
+
+// CommitHook observes every successful mutation. It is invoked while the
+// locks protecting the mutated relations are still held — per-relation
+// commit order therefore matches hook order, which is what makes the hook
+// a valid redo-log feed. The hook must be fast and must not re-enter the
+// engine; it may return a wait function, which the engine calls after
+// releasing the locks (e.g. to await an fsync) and whose error is returned
+// to the caller. Note a wait error does NOT roll back the in-memory
+// mutation: the caller is told the durability guarantee failed and should
+// retire the engine.
+type CommitHook func(c Commit) (wait func() error)
+
 // Engine is a concurrent maintained database. Create with New; all methods
 // are safe for concurrent use.
 type Engine struct {
@@ -55,6 +74,10 @@ type Engine struct {
 	mu    sync.Mutex
 	chase *maintenance.ChaseMaintainer
 	jd    bool
+
+	// hook, when set, observes successful mutations (see CommitHook). Set
+	// once before concurrent use; nil checks are unsynchronized.
+	hook CommitHook
 
 	shards []shard
 }
@@ -129,6 +152,40 @@ func (e *Engine) Schema() *schema.Schema { return e.s }
 // row values before building tuples.
 func (e *Engine) Dict() *Dict { return e.dict }
 
+// SetCommitHook installs the mutation observer. Install it after recovery
+// (Apply calls fire no hook only because none is set yet) and before the
+// engine is used concurrently.
+func (e *Engine) SetCommitHook(h CommitHook) { e.hook = h }
+
+// commit runs the hook (if any) for a successful mutation and returns the
+// wait function to invoke once locks are released. Callers hold the locks
+// guarding the mutated relations.
+func (e *Engine) commit(c Commit) func() error {
+	if e.hook == nil {
+		return nil
+	}
+	return e.hook(c)
+}
+
+// Apply replays a recovered Commit through the normal admission path:
+// inserts re-validate through the per-relation guards (or the chase) as an
+// atomic batch, deletes re-apply directly. Replay is idempotent — a
+// duplicate insert or an absent delete is a no-op — so applying a log
+// whose prefix is already reflected in the state converges to the same
+// state. Apply is meant to run before SetCommitHook, so replayed records
+// are not re-logged.
+func (e *Engine) Apply(c Commit) error {
+	if c.Delete {
+		for _, op := range c.Ops {
+			if _, err := e.Delete(op.Scheme, op.Tuple); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.InsertBatch(c.Ops)
+}
+
 // checkOp validates addressing and arity up front so the maintainers can
 // assume well-formed operations.
 func (e *Engine) checkOp(scheme int, t relation.Tuple) error {
@@ -152,17 +209,29 @@ func (e *Engine) Insert(scheme int, t relation.Tuple) error {
 	start := time.Now()
 	var added bool
 	var err error
+	var wait func() error
 	if e.fast {
 		sh.mu.Lock()
 		added, err = e.guard.InsertReport(scheme, t)
+		if added && err == nil {
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}})
+		}
 	} else {
 		e.mu.Lock()
 		added, err = e.chase.InsertReport(scheme, t)
+		if added && err == nil {
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}})
+		}
 		e.mu.Unlock()
 		sh.mu.Lock()
 	}
 	sh.note(added, false, err, time.Since(start))
 	sh.mu.Unlock()
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			return werr
+		}
+	}
 	return err
 }
 
@@ -176,12 +245,19 @@ func (e *Engine) Delete(scheme int, t relation.Tuple) (bool, error) {
 	start := time.Now()
 	var removed bool
 	var err error
+	var wait func() error
 	if e.fast {
 		sh.mu.Lock()
 		removed, err = e.guard.Delete(scheme, t)
+		if removed && err == nil {
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true})
+		}
 	} else {
 		e.mu.Lock()
 		removed, err = e.chase.Delete(scheme, t)
+		if removed && err == nil {
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true})
+		}
 		e.mu.Unlock()
 		sh.mu.Lock()
 	}
@@ -189,8 +265,19 @@ func (e *Engine) Delete(scheme int, t relation.Tuple) (bool, error) {
 		sh.note(false, removed, err, time.Since(start))
 	}
 	sh.mu.Unlock()
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			return removed, werr
+		}
+	}
 	return removed, err
 }
+
+// MaxBatchOps bounds a single InsertBatch. The limit keeps one batch's
+// lock hold time sane and guarantees a durable store can always frame the
+// commit as one decodable log record (the WAL decoder enforces its own,
+// larger cap — a record we can write must be one we can read back).
+const MaxBatchOps = 1 << 16
 
 // InsertBatch validates and adds a batch of tuples atomically: either every
 // tuple is admitted or the state is left unchanged and the first violation
@@ -198,8 +285,11 @@ func (e *Engine) Delete(scheme int, t relation.Tuple) (bool, error) {
 // stripe once, amortizing locking across the batch; independence guarantees
 // the per-relation checks jointly decide global admissibility. On the chase
 // path the whole batch is validated with a single chase instead of one per
-// tuple.
+// tuple. Batches are limited to MaxBatchOps tuples.
 func (e *Engine) InsertBatch(ops []Op) error {
+	if len(ops) > MaxBatchOps {
+		return fmt.Errorf("engine: batch of %d ops exceeds limit %d", len(ops), MaxBatchOps)
+	}
 	for _, op := range ops {
 		if err := e.checkOp(op.Scheme, op.Tuple); err != nil {
 			return err
@@ -247,16 +337,24 @@ func (e *Engine) batchFast(ops []Op) error {
 			added = append(added, op)
 		}
 	}
+	var wait func() error
 	if err != nil {
 		// Roll back in reverse; deletes cannot fail, so the state returns
 		// exactly to where it was while we still hold every stripe.
 		for i := len(added) - 1; i >= 0; i-- {
 			e.guard.Delete(added[i].Scheme, added[i].Tuple)
 		}
+	} else if len(added) > 0 {
+		wait = e.commit(Commit{Ops: added})
 	}
 	e.noteBatch(ops, added, schemes, err, time.Since(start))
 	for _, s := range schemes {
 		e.shards[s].mu.Unlock()
+	}
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			return werr
+		}
 	}
 	return err
 }
@@ -282,11 +380,15 @@ func (e *Engine) batchChase(ops []Op) error {
 		}
 	}
 	var added []Op
+	var wait func() error
 	if err == nil {
 		for _, op := range ops {
 			if st.Insts[op.Scheme].Add(op.Tuple) {
 				added = append(added, op)
 			}
+		}
+		if len(added) > 0 {
+			wait = e.commit(Commit{Ops: added})
 		}
 	}
 	e.mu.Unlock()
@@ -298,6 +400,11 @@ func (e *Engine) batchChase(ops []Op) error {
 	e.noteBatch(ops, added, schemes, err, d)
 	for _, s := range schemes {
 		e.shards[s].mu.Unlock()
+	}
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			return werr
+		}
 	}
 	return err
 }
@@ -330,11 +437,21 @@ func (e *Engine) noteBatch(ops, added []Op, schemes []int, err error, d time.Dur
 // Snapshot returns a deep copy of the current state: a consistent cut that
 // no later operation mutates. The attached dictionary is a point-in-time
 // copy of the engine's, so the snapshot renders with names.
-func (e *Engine) Snapshot() *relation.State {
+func (e *Engine) Snapshot() *relation.State { return e.SnapshotWith(nil) }
+
+// SnapshotWith is Snapshot with a cut callback: fn (when non-nil) runs
+// while every state lock is held, i.e. at a point where no mutation is in
+// flight and every completed mutation's commit hook has already run.
+// Durable stores use it to mark a log position that exactly matches the
+// snapshot — the foundation of checkpointing.
+func (e *Engine) SnapshotWith(fn func()) *relation.State {
 	var st *relation.State
 	if e.fast {
 		for i := range e.shards {
 			e.shards[i].mu.Lock()
+		}
+		if fn != nil {
+			fn()
 		}
 		st = e.guard.State().Clone()
 		for i := range e.shards {
@@ -342,6 +459,9 @@ func (e *Engine) Snapshot() *relation.State {
 		}
 	} else {
 		e.mu.Lock()
+		if fn != nil {
+			fn()
+		}
 		st = e.chase.State().Clone()
 		e.mu.Unlock()
 	}

@@ -333,3 +333,154 @@ func TestEngineMalformedOps(t *testing.T) {
 		t.Fatal("want error for malformed batch op")
 	}
 }
+
+// TestEngineCommitHook verifies the redo-log contract: the hook sees
+// exactly the mutations that changed state (no duplicates, no rejects, no
+// missed deletes), per-relation hook order matches admission order, wait
+// errors surface to callers, and Apply replays the observed commits into
+// an identical state.
+func TestEngineCommitHook(t *testing.T) {
+	e := openUniversity(t)
+	var mu sync.Mutex
+	var seen []Commit
+	e.SetCommitHook(func(c Commit) func() error {
+		mu.Lock()
+		cp := Commit{Ops: append([]Op(nil), c.Ops...), Delete: c.Delete}
+		seen = append(seen, cp)
+		mu.Unlock()
+		return nil
+	})
+
+	if err := e.Insert(0, tuple(e, "cs101", "jones", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate: no state change, no commit.
+	if err := e.Insert(0, tuple(e, "cs101", "jones", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	// Reject: no commit.
+	if err := e.Insert(0, tuple(e, "cs101", "smith", "cs")); err == nil {
+		t.Fatal("conflicting insert must fail")
+	}
+	// Batch: only the two fresh tuples commit (one is a duplicate).
+	if err := e.InsertBatch([]Op{
+		{Scheme: 0, Tuple: tuple(e, "cs101", "jones", "cs")},
+		{Scheme: 0, Tuple: tuple(e, "cs102", "smith", "ee")},
+		{Scheme: 3, Tuple: tuple(e, "s1", "ann", "2")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Delete present + delete absent: one commit.
+	if removed, err := e.Delete(0, tuple(e, "cs102", "smith", "ee")); err != nil || !removed {
+		t.Fatalf("delete: %v %v", removed, err)
+	}
+	if removed, _ := e.Delete(0, tuple(e, "cs102", "smith", "ee")); removed {
+		t.Fatal("re-delete must be a no-op")
+	}
+
+	if len(seen) != 3 {
+		t.Fatalf("hook saw %d commits, want 3: %+v", len(seen), seen)
+	}
+	if seen[0].Delete || len(seen[0].Ops) != 1 {
+		t.Fatalf("first commit: %+v", seen[0])
+	}
+	if seen[1].Delete || len(seen[1].Ops) != 2 {
+		t.Fatalf("batch commit: %+v", seen[1])
+	}
+	if !seen[2].Delete || len(seen[2].Ops) != 1 {
+		t.Fatalf("delete commit: %+v", seen[2])
+	}
+
+	// Replaying the observed commits reproduces the state exactly.
+	s, fds := workload.University()
+	re, err := New(s, fds, chase.DefaultCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range seen {
+		if err := re.Apply(c); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	if re.Rows() != e.Rows() {
+		t.Fatalf("replay has %d rows, want %d", re.Rows(), e.Rows())
+	}
+	// Idempotence: applying everything again converges to the same state.
+	for _, c := range seen {
+		if err := re.Apply(c); err != nil {
+			t.Fatalf("re-apply: %v", err)
+		}
+	}
+	if re.Rows() != e.Rows() {
+		t.Fatalf("re-applied replay has %d rows, want %d", re.Rows(), e.Rows())
+	}
+}
+
+// TestEngineCommitHookWaitError checks a failing wait surfaces to the
+// caller on every mutating path.
+func TestEngineCommitHookWaitError(t *testing.T) {
+	e := openUniversity(t)
+	boom := errors.New("fsync failed")
+	e.SetCommitHook(func(Commit) func() error {
+		return func() error { return boom }
+	})
+	if err := e.Insert(0, tuple(e, "cs101", "jones", "cs")); !errors.Is(err, boom) {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := e.InsertBatch([]Op{{Scheme: 0, Tuple: tuple(e, "cs102", "smith", "ee")}}); !errors.Is(err, boom) {
+		t.Fatalf("batch: %v", err)
+	}
+	if _, err := e.Delete(0, tuple(e, "cs101", "jones", "cs")); !errors.Is(err, boom) {
+		t.Fatalf("delete: %v", err)
+	}
+}
+
+// TestEngineChaseCommitHook covers the hook on the serialized chase path.
+func TestEngineChaseCommitHook(t *testing.T) {
+	e, _ := openExample1(t)
+	var commits int
+	e.SetCommitHook(func(c Commit) func() error {
+		commits++
+		return nil
+	})
+	if err := e.Insert(0, tuple(e, "CS402", "CS")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert(1, tuple(e, "CS402", "Jones")); err != nil {
+		t.Fatal(err)
+	}
+	// The anomaly is rejected: no commit. TD's tuple order is (D, T) by
+	// ascending attribute index, so this is T=Jones (forcing D=EE against
+	// CD's D=CS).
+	if err := e.Insert(2, tuple(e, "EE", "Jones")); err == nil {
+		t.Fatal("anomalous insert must fail on the chase path")
+	}
+	if removed, err := e.Delete(1, tuple(e, "CS402", "Jones")); err != nil || !removed {
+		t.Fatalf("delete: %v %v", removed, err)
+	}
+	if commits != 3 {
+		t.Fatalf("chase path hook saw %d commits, want 3", commits)
+	}
+}
+
+// TestEngineSnapshotWithCut checks the cut callback runs at a moment that
+// exactly separates prior commits from later ones.
+func TestEngineSnapshotWithCut(t *testing.T) {
+	e := openUniversity(t)
+	var logged []Commit
+	e.SetCommitHook(func(c Commit) func() error {
+		logged = append(logged, c) // hook runs under the stripe locks
+		return nil
+	})
+	if err := e.Insert(0, tuple(e, "cs101", "jones", "cs")); err != nil {
+		t.Fatal(err)
+	}
+	var atCut int
+	st := e.SnapshotWith(func() { atCut = len(logged) })
+	if atCut != 1 {
+		t.Fatalf("cut saw %d commits, want 1", atCut)
+	}
+	if st.TupleCount() != 1 {
+		t.Fatalf("snapshot has %d tuples, want 1", st.TupleCount())
+	}
+}

@@ -1,0 +1,43 @@
+package fd
+
+import (
+	"testing"
+
+	"indep/internal/attrset"
+)
+
+// FuzzParse asserts the FD parser never panics, and that whatever it
+// accepts round-trips: formatting an accepted list and re-parsing it
+// yields the same dependencies.
+func FuzzParse(f *testing.F) {
+	f.Add("A -> B")
+	f.Add("A B -> C; C -> D")
+	f.Add("A,B -> C\nD -> A")
+	f.Add(" -> B")
+	f.Add("A -> ")
+	f.Add("A <- B")
+	f.Add("A -> Z")
+	f.Add("A->B->C")
+	f.Fuzz(func(t *testing.T, src string) {
+		u := attrset.NewUniverse()
+		for _, name := range []string{"A", "B", "C", "D", "E"} {
+			u.Add(name)
+		}
+		fds, err := Parse(u, src)
+		if err != nil {
+			return
+		}
+		again, err := Parse(u, fds.Format(u))
+		if err != nil {
+			t.Fatalf("Format of accepted input %q does not re-parse: %v", src, err)
+		}
+		if len(again) != len(fds) {
+			t.Fatalf("roundtrip of %q: %d FDs became %d", src, len(fds), len(again))
+		}
+		for i := range fds {
+			if fds[i].LHS != again[i].LHS || fds[i].RHS != again[i].RHS {
+				t.Fatalf("roundtrip of %q: FD %d changed from %v to %v", src, i, fds[i], again[i])
+			}
+		}
+	})
+}

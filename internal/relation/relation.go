@@ -68,6 +68,21 @@ func (d *Dict) Define(v Value, name string) {
 	d.index[name] = v
 }
 
+// Each calls f for every bound (value, name) pair in ascending value
+// order. Checkpoint serialization relies on the ordering: restoring the
+// pairs in Each order reproduces the allocation order of the concurrent
+// dictionary's shards.
+func (d *Dict) Each(f func(v Value, name string)) {
+	if d == nil {
+		return
+	}
+	for i, name := range d.names {
+		if d.bound[i] {
+			f(Value(i), name)
+		}
+	}
+}
+
 // Tuple is a row of an instance. Its values are ordered by ascending
 // attribute index of the owning instance's scheme.
 type Tuple []Value

@@ -1,0 +1,36 @@
+package schema
+
+import "testing"
+
+// FuzzParse asserts the schema parser never panics and that anything it
+// accepts passes the structural validator (Parse promises a valid schema
+// or an error, never a broken value).
+func FuzzParse(f *testing.F) {
+	f.Add("R1(A,B); R2(B,C)")
+	f.Add("CT(C,T); CS(C,S); CHR(C,H,R)")
+	f.Add("R(A)")
+	f.Add("R1(A B C)\nR2(C D)")
+	f.Add("  R1 ( A , B ) ;; R2(B)")
+	f.Add("R1()")
+	f.Add("(A)")
+	f.Add("R1(A,B); R1(A)")
+	f.Add("R)(")
+	f.Add("R1(A,B")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid schema: %v", src, verr)
+		}
+		if s.Size() == 0 {
+			t.Fatalf("Parse(%q) accepted an empty schema", src)
+		}
+		for i := 0; i < s.Size(); i++ {
+			if s.IndexOf(s.Name(i)) != i {
+				t.Fatalf("Parse(%q): scheme %d not findable by name %q", src, i, s.Name(i))
+			}
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"indep/internal/relation"
+)
+
+// DictEntry is one durable dictionary binding.
+type DictEntry struct {
+	Value relation.Value
+	Name  string
+}
+
+// Checkpoint is a serialized snapshot of the engine state: the dictionary
+// and every relation's tuples, plus the sequence number of the first WAL
+// segment NOT covered by the snapshot (recovery loads the checkpoint, then
+// replays segments >= Seq).
+type Checkpoint struct {
+	Seq    uint64
+	Dict   []DictEntry
+	Tuples [][]relation.Tuple // per scheme, in schema order
+}
+
+// NewCheckpoint builds a Checkpoint from a consistent snapshot state whose
+// Dict has been materialized, cutting at seq.
+func NewCheckpoint(seq uint64, st *relation.State) *Checkpoint {
+	ck := &Checkpoint{Seq: seq, Tuples: make([][]relation.Tuple, len(st.Insts))}
+	if st.Dict != nil {
+		st.Dict.Each(func(v relation.Value, name string) {
+			ck.Dict = append(ck.Dict, DictEntry{Value: v, Name: name})
+		})
+	}
+	for i, in := range st.Insts {
+		ck.Tuples[i] = in.Tuples
+	}
+	return ck
+}
+
+// Checkpoint file layout: magic, then a uvarint/varint-encoded body, then a
+// trailing CRC32 over everything before it. Files are written to a temp
+// name and atomically renamed, so a visible checkpoint is complete unless
+// the disk itself corrupted it — which the CRC catches.
+const ckptMagic = "INDEPCK1"
+
+func (ck *Checkpoint) encode() []byte {
+	buf := []byte(ckptMagic)
+	buf = binary.AppendUvarint(buf, ck.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Dict)))
+	for _, e := range ck.Dict {
+		buf = binary.AppendVarint(buf, int64(e.Value))
+		buf = binary.AppendUvarint(buf, uint64(len(e.Name)))
+		buf = append(buf, e.Name...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Tuples)))
+	for _, tuples := range ck.Tuples {
+		buf = binary.AppendUvarint(buf, uint64(len(tuples)))
+		for _, t := range tuples {
+			buf = binary.AppendUvarint(buf, uint64(len(t)))
+			for _, v := range t {
+				buf = binary.AppendVarint(buf, int64(v))
+			}
+		}
+	}
+	sum := crc32.Checksum(buf, crcTable)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("wal: not a checkpoint file")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("wal: checkpoint checksum mismatch")
+	}
+	b := body[len(ckptMagic):]
+	ck := &Checkpoint{}
+	var err error
+	if ck.Seq, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	var n uint64
+	if n, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var v int64
+		if v, b, err = readVarint(b); err != nil {
+			return nil, err
+		}
+		var ln uint64
+		if ln, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if ln > uint64(len(b)) {
+			return nil, fmt.Errorf("wal: checkpoint dict name overruns file")
+		}
+		ck.Dict = append(ck.Dict, DictEntry{Value: relation.Value(v), Name: string(b[:ln])})
+		b = b[ln:]
+	}
+	var schemes uint64
+	if schemes, b, err = readUvarint(b); err != nil {
+		return nil, err
+	}
+	if schemes > uint64(len(b)) {
+		return nil, fmt.Errorf("wal: checkpoint scheme count overruns file")
+	}
+	ck.Tuples = make([][]relation.Tuple, schemes)
+	for i := range ck.Tuples {
+		var cnt uint64
+		if cnt, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if cnt > uint64(len(b)) {
+			return nil, fmt.Errorf("wal: checkpoint tuple count overruns file")
+		}
+		ck.Tuples[i] = make([]relation.Tuple, 0, cnt)
+		for j := uint64(0); j < cnt; j++ {
+			var arity uint64
+			if arity, b, err = readUvarint(b); err != nil {
+				return nil, err
+			}
+			if arity > uint64(len(b)) {
+				return nil, fmt.Errorf("wal: checkpoint tuple overruns file")
+			}
+			t := make(relation.Tuple, arity)
+			for c := range t {
+				var v int64
+				if v, b, err = readVarint(b); err != nil {
+					return nil, err
+				}
+				t[c] = relation.Value(v)
+			}
+			ck.Tuples[i] = append(ck.Tuples[i], t)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes in checkpoint", len(b))
+	}
+	return ck, nil
+}
+
+// WriteCheckpoint durably writes ck to dir (temp file, fsync, atomic
+// rename, directory fsync) and garbage-collects older checkpoint files.
+func WriteCheckpoint(dir string, ck *Checkpoint) error {
+	data := ck.encode()
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ckptName(ck.Seq))); err != nil {
+		return err
+	}
+	syncDir(dir)
+	removeCheckpointsExcept(dir, ck.Seq)
+	return nil
+}
+
+// LatestCheckpoint loads the newest readable checkpoint in dir, or nil if
+// none exists. A corrupt newer checkpoint falls back to an older one.
+func LatestCheckpoint(dir string) (*Checkpoint, error) {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i := len(cks) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, ckptName(cks[i])))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ck, err := decodeCheckpoint(data)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if ck.Seq != cks[i] {
+			lastErr = fmt.Errorf("wal: checkpoint %s declares seq %d", ckptName(cks[i]), ck.Seq)
+			continue
+		}
+		return ck, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("wal: no readable checkpoint: %w", lastErr)
+	}
+	return nil, nil
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package wal
+
+// LockDir is a no-op on platforms without flock; the caller gets no
+// double-open protection there.
+func LockDir(dir string) (release func(), err error) {
+	return func() {}, nil
+}
