@@ -7,12 +7,23 @@
 //	indep analyze -file design.txt
 //	indep closure -schema ... -fds ... -of 'C H'
 //	indep acyclic -schema ...
+//	indep query -schema ... -fds ... -rows data.txt -of 'C T' [-where 'C=cs101'] [-limit 10]
 //
 // The file format for -file has one declaration per line; lines starting
 // with '#' are comments:
 //
 //	schema: CT(C,T); CS(C,S); CHR(C,H,R)
 //	fds: C -> T; C H -> R
+//
+// query computes the window [X] for the -of attribute set: the X-total
+// projection of the representative instance of the state in -rows —
+// evaluated relation-by-relation when the schema is independent, through
+// the chase otherwise. The -rows file holds one tuple per line (';' also
+// separates), values positional in the relation's attribute order, '#'
+// comments:
+//
+//	CT(cs101, jones)
+//	CS(cs101, smith)
 package main
 
 import (
@@ -33,7 +44,10 @@ func main() {
 	schemaSrc := fs.String("schema", "", "schema declaration, e.g. 'R1(A,B); R2(B,C)'")
 	fdSrc := fs.String("fds", "", "functional dependencies, e.g. 'A -> B; B -> C'")
 	file := fs.String("file", "", "read schema/fds from a declaration file")
-	of := fs.String("of", "", "closure: attribute list, e.g. 'C H'")
+	of := fs.String("of", "", "closure/query: attribute list, e.g. 'C H'")
+	rows := fs.String("rows", "", "query: tuple file, one 'Rel(v1,v2,...)' per line")
+	where := fs.String("where", "", "query: equality selections, e.g. 'C=cs101; T=jones'")
+	limit := fs.Int("limit", 0, "query: cap the number of returned rows (0 = all)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -83,9 +97,92 @@ func main() {
 		fmt.Printf("cl_G|D(%s)  = %s\n", strings.Join(attrs, " "), strings.Join(emb, " "))
 	case "acyclic":
 		fmt.Printf("acyclic: %v\n", sch.IsAcyclic())
+	case "query":
+		attrs := strings.Fields(*of)
+		if len(attrs) == 0 {
+			fatal(fmt.Errorf("query needs -of 'A B ...'"))
+		}
+		db := sch.NewDatabase()
+		if *rows != "" {
+			if err := loadRows(sch, db, *rows); err != nil {
+				fatal(err)
+			}
+		}
+		q := indep.WindowQuery{Attrs: attrs, Limit: *limit}
+		if *where != "" {
+			q.Where = make(map[string]string)
+			for _, cond := range strings.FieldsFunc(*where, func(r rune) bool { return r == ';' }) {
+				attr, val, ok := strings.Cut(strings.TrimSpace(cond), "=")
+				if !ok || strings.TrimSpace(attr) == "" {
+					fatal(fmt.Errorf("bad -where condition %q (want attr=value)", cond))
+				}
+				attr, val = strings.TrimSpace(attr), strings.TrimSpace(val)
+				if prev, dup := q.Where[attr]; dup && prev != val {
+					fatal(fmt.Errorf("conflicting -where conditions for %s", attr))
+				}
+				q.Where[attr] = val
+			}
+		}
+		res, err := db.Query(q)
+		if err != nil {
+			fatal(err)
+		}
+		mode := "chase (schema not independent)"
+		if res.FastPath {
+			mode = "relation-by-relation (independent schema, no chase)"
+		}
+		fmt.Printf("window [%s]: %d rows, evaluated %s\n",
+			strings.Join(res.Attrs, " "), res.Total, mode)
+		fmt.Println(strings.Join(res.Attrs, "\t"))
+		for _, row := range res.Rows {
+			vals := make([]string, len(res.Attrs))
+			for i, a := range res.Attrs {
+				vals[i] = row[a]
+			}
+			fmt.Println(strings.Join(vals, "\t"))
+		}
 	default:
 		usage()
 	}
+}
+
+// loadRows reads a tuple file into the database: one 'Rel(v1,v2,...)' per
+// line (';' also separates tuples), values positional in the relation's
+// attribute order, '#' starting a comment line.
+func loadRows(sch *indep.Schema, db *indep.Database, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.FieldsFunc(string(data), func(r rune) bool { return r == '\n' || r == ';' }) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		open := strings.IndexByte(line, '(')
+		close := strings.LastIndexByte(line, ')')
+		if open <= 0 || close != len(line)-1 {
+			return fmt.Errorf("indep: cannot parse tuple %q (want Rel(v1,v2,...))", line)
+		}
+		rel := strings.TrimSpace(line[:open])
+		attrs, err := sch.RelationAttrs(rel)
+		if err != nil {
+			return err
+		}
+		vals := strings.Split(line[open+1:close], ",")
+		if len(vals) != len(attrs) {
+			return fmt.Errorf("indep: tuple %q has %d values, %s has %d attributes",
+				line, len(vals), rel, len(attrs))
+		}
+		row := make(map[string]string, len(attrs))
+		for i, a := range attrs {
+			row[a] = strings.TrimSpace(vals[i])
+		}
+		if err := db.Insert(rel, row); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {
@@ -98,6 +195,7 @@ func usage() {
   indep analyze -schema '...' -fds '...'   decide independence, print witness
   indep analyze -file design.txt
   indep closure -schema '...' -fds '...' -of 'A B'
-  indep acyclic -schema '...'`)
+  indep acyclic -schema '...'
+  indep query -schema '...' -fds '...' -rows data.txt -of 'A B' [-where 'A=v'] [-limit n]`)
 	os.Exit(2)
 }

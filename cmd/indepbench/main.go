@@ -13,12 +13,20 @@
 //	indepbench -engine -durable -dir /tmp/indepbench -batch 64
 //	indepbench -engine -durable -nofsync        # WAL write cost without fsync
 //
+//	indepbench -query -readers 8 -workers 2 -duration 3s
+//
 // The -engine mode drives inserts through the public ConcurrentStore —
 // the same per-relation lock stripes indepd serves from — and reports
 // tuples/s plus per-relation latency percentiles. With -durable the store
 // runs on the write-ahead log, so the group-commit overhead (and its
-// amortization across concurrent writers: see the appends-per-fsync
+// amortization across concurrent writers: see the records-per-fsync
 // figure) shows up directly in the numbers.
+//
+// The -query mode runs a mixed read/write load: -workers writers keep
+// inserting batches while -readers goroutines issue window queries against
+// lock-free snapshots. It reports write tuples/s, read queries/s, and read
+// latency percentiles — run it at different -readers (or GOMAXPROCS) to
+// see reads scale with cores against a concurrent writer.
 package main
 
 import (
@@ -26,7 +34,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"indep"
@@ -43,23 +55,32 @@ func main() {
 	scale := flag.Int("scale", 0, "work scale (0 = default)")
 
 	engine := flag.Bool("engine", false, "load-test the concurrent store instead of running experiments")
+	queryMode := flag.Bool("query", false, "mixed read/write load: writers insert while readers run window queries")
 	shape := flag.String("shape", "star", "workload shape: star, chain, random")
 	attrs := flag.Int("attrs", 25, "universe size of the generated schema")
 	schemes := flag.Int("schemes", 5, "relation schemes (star/random)")
 	n := flag.Int("n", 100000, "tuples to insert")
 	batch := flag.Int("batch", 64, "tuples per InsertBatch (1 = single inserts)")
 	workers := flag.Int("workers", 8, "concurrent writers")
+	readers := flag.Int("readers", runtime.GOMAXPROCS(0), "concurrent window-query readers (-query)")
+	duration := flag.Duration("duration", 3*time.Second, "how long to run the mixed load (-query)")
 	durable := flag.Bool("durable", false, "run on a write-ahead-logged DurableStore")
 	dir := flag.String("dir", "", "data directory for -durable (default: a temp dir, removed after)")
 	noFsync := flag.Bool("nofsync", false, "durable mode without fsync")
 	flag.Parse()
 
-	if *engine {
-		if err := runEngine(engineConfig{
+	if *engine || *queryMode {
+		cfg := engineConfig{
 			shape: *shape, attrs: *attrs, schemes: *schemes, seed: *seed,
 			n: *n, batch: *batch, workers: *workers,
+			readers: *readers, duration: *duration,
 			durable: *durable, dir: *dir, noFsync: *noFsync,
-		}); err != nil {
+		}
+		run := runEngine
+		if *queryMode {
+			run = runQuery
+		}
+		if err := run(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "indepbench:", err)
 			os.Exit(2)
 		}
@@ -90,6 +111,8 @@ type engineConfig struct {
 	seed           int64
 	n, batch       int
 	workers        int
+	readers        int
+	duration       time.Duration
 	durable        bool
 	dir            string
 	noFsync        bool
@@ -160,40 +183,47 @@ func rowFor(sch *indep.Schema, rel string, seed int) (map[string]string, error) 
 	return row, nil
 }
 
+// openBenchStore opens the store the flags ask for: in-memory, or durable
+// over -dir (default: a temp dir). The caller must invoke cleanup.
+func openBenchStore(sch *indep.Schema, cfg engineConfig) (store *indep.ConcurrentStore, ds *indep.DurableStore, mode string, cleanup func(), err error) {
+	cleanup = func() {}
+	if !cfg.durable {
+		store, err = sch.OpenConcurrentStore()
+		return store, nil, "in-memory", cleanup, err
+	}
+	dir := cfg.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "indepbench-wal-")
+		if err != nil {
+			return nil, nil, "", cleanup, err
+		}
+		dir = tmp
+		cleanup = func() { os.RemoveAll(tmp) }
+	}
+	ds, err = sch.OpenDurableStore(dir, indep.DurableOptions{NoFsync: cfg.noFsync})
+	if err != nil {
+		cleanup()
+		return nil, nil, "", func() {}, err
+	}
+	rm := cleanup
+	cleanup = func() { ds.Close(); rm() }
+	mode = "durable sync=always"
+	if cfg.noFsync {
+		mode = "durable sync=never"
+	}
+	return ds.ConcurrentStore, ds, mode, cleanup, nil
+}
+
 func runEngine(cfg engineConfig) error {
 	sch, err := buildWorkloadSchema(cfg)
 	if err != nil {
 		return err
 	}
-	var store *indep.ConcurrentStore
-	var ds *indep.DurableStore
-	mode := "in-memory"
-	if cfg.durable {
-		dir := cfg.dir
-		if dir == "" {
-			tmp, err := os.MkdirTemp("", "indepbench-wal-")
-			if err != nil {
-				return err
-			}
-			defer os.RemoveAll(tmp)
-			dir = tmp
-		}
-		ds, err = sch.OpenDurableStore(dir, indep.DurableOptions{NoFsync: cfg.noFsync})
-		if err != nil {
-			return err
-		}
-		defer ds.Close()
-		store = ds.ConcurrentStore
-		mode = "durable sync=always"
-		if cfg.noFsync {
-			mode = "durable sync=never"
-		}
-	} else {
-		store, err = sch.OpenConcurrentStore()
-		if err != nil {
-			return err
-		}
+	store, ds, mode, cleanup, err := openBenchStore(sch, cfg)
+	if err != nil {
+		return err
 	}
+	defer cleanup()
 	rels := sch.Relations()
 	fmt.Printf("engine load: shape=%s schemes=%d attrs=%d fast-path=%v mode=%s\n",
 		cfg.shape, len(rels), cfg.attrs, store.FastPath(), mode)
@@ -258,20 +288,184 @@ func runEngine(cfg engineConfig) error {
 	}
 
 	if ds != nil {
-		ws := ds.WAL()
-		perGroup := float64(ws.Appends)
-		if ws.CommitGroups > 0 {
-			perGroup = float64(ws.Appends) / float64(ws.CommitGroups)
-		}
-		fmt.Printf("wal: segments=%d totalBytes=%d appends=%d commitGroups=%d syncs=%d (%.1f appends/group)\n",
-			ws.Segments, ws.TotalBytes, ws.Appends, ws.CommitGroups, ws.Syncs, perGroup)
+		printWALStats(ds)
 		ckStart := time.Now()
 		if err := ds.Checkpoint(); err != nil {
 			return err
 		}
-		ws = ds.WAL()
+		ws := ds.WAL()
 		fmt.Printf("checkpoint: wrote snapshot in %v; log now %d bytes over %d segments\n",
 			time.Since(ckStart).Round(time.Millisecond), ws.TotalBytes, ws.Segments)
 	}
 	return nil
+}
+
+// windowPool builds the attribute sets the readers cycle through: every
+// relation's own attributes (local-projection windows) and, for adjacent
+// scheme pairs, their union (cross-relation windows that exercise the
+// extension joins — or the chase, when the schema is not independent).
+func windowPool(sch *indep.Schema) ([][]string, error) {
+	rels := sch.Relations()
+	var pool [][]string
+	for _, rel := range rels {
+		attrs, err := sch.RelationAttrs(rel)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, attrs)
+	}
+	for i := 0; i+1 < len(rels); i++ {
+		a, err := sch.RelationAttrs(rels[i])
+		if err != nil {
+			return nil, err
+		}
+		b, err := sch.RelationAttrs(rels[i+1])
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool, len(a)+len(b))
+		var union []string
+		for _, x := range append(append([]string{}, a...), b...) {
+			if !seen[x] {
+				seen[x] = true
+				union = append(union, x)
+			}
+		}
+		pool = append(pool, union)
+	}
+	return pool, nil
+}
+
+// runQuery drives the mixed read/write load: writers insert batches while
+// readers issue window queries against lock-free snapshots, for the
+// configured duration.
+func runQuery(cfg engineConfig) error {
+	sch, err := buildWorkloadSchema(cfg)
+	if err != nil {
+		return err
+	}
+	store, ds, mode, cleanup, err := openBenchStore(sch, cfg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	rels := sch.Relations()
+	pool, err := windowPool(sch)
+	if err != nil {
+		return err
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	if cfg.workers < 0 {
+		cfg.workers = 0
+	}
+	if cfg.readers < 1 {
+		cfg.readers = 1
+	}
+	fmt.Printf("query load: shape=%s schemes=%d attrs=%d fast-path=%v mode=%s writers=%d readers=%d batch=%d duration=%v gomaxprocs=%d\n",
+		cfg.shape, len(rels), cfg.attrs, store.FastPath(), mode,
+		cfg.workers, cfg.readers, cfg.batch, cfg.duration, runtime.GOMAXPROCS(0))
+
+	var stop atomic.Bool
+	var wrote atomic.Int64
+	errc := make(chan error, cfg.workers+cfg.readers)
+	// fail stops the whole load immediately: without it a t=0 error would
+	// leave every other goroutine burning the full -duration for a run
+	// whose results are discarded.
+	fail := func(err error) {
+		stop.Store(true)
+		errc <- err
+	}
+	var wg sync.WaitGroup
+
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; !stop.Load(); k++ {
+				ops := make([]indep.BatchOp, cfg.batch)
+				for j := range ops {
+					seed := (k*cfg.batch+j)*cfg.workers + w
+					rel := rels[seed%len(rels)]
+					row, err := rowFor(sch, rel, seed)
+					if err != nil {
+						fail(err)
+						return
+					}
+					ops[j] = indep.BatchOp{Rel: rel, Row: row}
+				}
+				if err := store.InsertBatch(ops); err != nil {
+					fail(err)
+					return
+				}
+				wrote.Add(int64(cfg.batch))
+			}
+		}(w)
+	}
+
+	lats := make([][]time.Duration, cfg.readers)
+	for r := 0; r < cfg.readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for k := 0; !stop.Load(); k++ {
+				attrs := pool[(k*cfg.readers+r)%len(pool)]
+				qs := time.Now()
+				if _, err := store.Window(attrs...); err != nil {
+					fail(err)
+					return
+				}
+				lats[r] = append(lats[r], time.Since(qs))
+			}
+		}(r)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(p*float64(len(all)-1))]
+	}
+	fmt.Printf("writes: %d tuples in %v (%.0f tuples/s)\n",
+		wrote.Load(), elapsed.Round(time.Millisecond),
+		float64(wrote.Load())/elapsed.Seconds())
+	fmt.Printf("reads:  %d window queries (%.0f queries/s) p50=%v p99=%v\n",
+		len(all), float64(len(all))/elapsed.Seconds(), pct(0.50), pct(0.99))
+	qs := store.QueryStats()
+	fmt.Printf("query stats: queries=%d planHits=%d fastEvals=%d chaseEvals=%d snapshotReuses=%d snapshotCopies=%d\n",
+		qs.Queries, qs.PlanHits, qs.FastEvals, qs.ChaseEvals, qs.SnapshotReuses, qs.SnapshotCopies)
+	if ds != nil {
+		printWALStats(ds)
+	}
+	return nil
+}
+
+// printWALStats reports the log's depth and group-commit batching win;
+// shared by the -engine and -query epilogues.
+func printWALStats(ds *indep.DurableStore) {
+	ws := ds.WAL()
+	perGroup := float64(ws.Records)
+	if ws.CommitGroups > 0 {
+		perGroup = float64(ws.Records) / float64(ws.CommitGroups)
+	}
+	fmt.Printf("wal: segments=%d totalBytes=%d records=%d commitGroups=%d syncs=%d (%.1f records/group)\n",
+		ws.Segments, ws.TotalBytes, ws.Records, ws.CommitGroups, ws.Syncs, perGroup)
 }

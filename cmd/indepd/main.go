@@ -22,11 +22,19 @@
 //	POST   /batch       {"ops":[{"relation":...,"row":{...}}, ...]}  (atomic)
 //	DELETE /tuple       {"relation":"CT","row":{...}}
 //	POST   /checkpoint  snapshot state, truncate the log (durable only)
+//	GET    /window      ?attrs=C,T[&where=C=cs101&project=T&limit=10]
 //	GET    /state       full state as JSON rows
 //	GET    /analysis    independence analysis
 //	GET    /stats       per-relation counters, validate latency, WAL depth
 //
+// /window computes the paper's window function: the X-total projection of
+// the representative instance for the requested attribute set, evaluated
+// lock-free over a consistent snapshot (relation-by-relation when the
+// schema is independent, by the serialized chase otherwise).
+//
 // Rejected writes answer 409 with {"rejected":true}; malformed ones 400.
+// If the write-ahead log cannot persist an admitted write the daemon
+// answers 503 and should be restarted.
 package main
 
 import (
@@ -36,8 +44,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -160,6 +170,7 @@ func newServer(sch *indep.Schema, store *indep.ConcurrentStore, durable *indep.D
 	handle("POST /batch", s.handleBatch)
 	handle("DELETE /tuple", s.handleDelete)
 	handle("POST /checkpoint", s.handleCheckpoint)
+	handle("GET /window", s.handleWindow)
 	handle("GET /state", s.handleState)
 	handle("GET /analysis", s.handleAnalysis)
 	handle("GET /stats", s.handleStats)
@@ -257,6 +268,75 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted})
 }
 
+// parseWindowQuery decodes the /window query parameters:
+//
+//	attrs=C,T        window attribute set X (required; ',' or space separated)
+//	where=C=cs101    equality selection on a window attribute (repeatable)
+//	project=T        project the result onto a subset of attrs
+//	limit=10         cap the number of returned rows
+//
+// It validates only shape (presence, separators, integer limit); attribute
+// and value resolution happens in the store, which reports unknown names.
+func parseWindowQuery(vals url.Values) (indep.WindowQuery, error) {
+	var q indep.WindowQuery
+	split := func(s string) []string {
+		return strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' })
+	}
+	q.Attrs = split(vals.Get("attrs"))
+	if len(q.Attrs) == 0 {
+		return q, fmt.Errorf("missing attrs parameter (e.g. ?attrs=C,T)")
+	}
+	q.Project = split(vals.Get("project"))
+	for _, w := range vals["where"] {
+		attr, val, ok := strings.Cut(w, "=")
+		if !ok || attr == "" {
+			return q, fmt.Errorf("bad where parameter %q (want attr=value)", w)
+		}
+		if q.Where == nil {
+			q.Where = make(map[string]string)
+		}
+		if prev, dup := q.Where[attr]; dup && prev != val {
+			return q, fmt.Errorf("conflicting where parameters for %s", attr)
+		}
+		q.Where[attr] = val
+	}
+	if l := vals.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad limit parameter %q", l)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (s *server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	q, err := parseWindowQuery(r.URL.Query())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	start := time.Now()
+	res, err := s.store.Query(q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rows := res.Rows
+	if rows == nil {
+		rows = []map[string]string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"attrs":      res.Attrs,
+		"rows":       rows,
+		"rowCount":   len(rows),
+		"total":      res.Total,
+		"fastPath":   res.FastPath,
+		"planCached": res.PlanCached,
+		"elapsedNs":  time.Since(start).Nanoseconds(),
+	})
+}
+
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if s.durable == nil {
 		writeJSON(w, http.StatusConflict, map[string]any{
@@ -316,7 +396,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"p99Ns":    st.P99.Nanoseconds(),
 		}
 	}
-	out := map[string]any{"relations": rels, "durable": s.durable != nil}
+	qs := s.store.QueryStats()
+	out := map[string]any{
+		"relations": rels,
+		"durable":   s.durable != nil,
+		"query": map[string]any{
+			"queries":        qs.Queries,
+			"planHits":       qs.PlanHits,
+			"fastEvals":      qs.FastEvals,
+			"chaseEvals":     qs.ChaseEvals,
+			"snapshotReuses": qs.SnapshotReuses,
+			"snapshotCopies": qs.SnapshotCopies,
+		},
+	}
 	if s.durable != nil {
 		ws := s.durable.WAL()
 		out["wal"] = map[string]any{
@@ -325,7 +417,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"activeSeq":    ws.ActiveSeq,
 			"activeBytes":  ws.ActiveBytes,
 			"totalBytes":   ws.TotalBytes,
-			"appends":      ws.Appends,
+			"records":      ws.Records,
 			"syncs":        ws.Syncs,
 			"commitGroups": ws.CommitGroups,
 		}

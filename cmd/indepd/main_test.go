@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"testing"
 
 	"indep"
@@ -239,7 +240,7 @@ func TestServerDurableCheckpointAndRestart(t *testing.T) {
 		t.Fatalf("stats: %d %v", resp.StatusCode, out)
 	}
 	wal := out["wal"].(map[string]any)
-	if wal["appends"].(float64) < 2 || wal["totalBytes"].(float64) <= 0 {
+	if wal["records"].(float64) < 2 || wal["totalBytes"].(float64) <= 0 {
 		t.Fatalf("wal stats: %v", wal)
 	}
 
@@ -284,4 +285,128 @@ func TestServerBadJSONAndMethods(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /insert: %d, want 405", resp.StatusCode)
 	}
+}
+
+// TestServerWindowIndependent exercises GET /window on the university
+// schema: the fast path (no chase) must compute cross-relation windows by
+// extension joins, honoring where/project/limit.
+func TestServerWindowIndependent(t *testing.T) {
+	ts, _ := newTestServer(t, "CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	for _, op := range []map[string]any{
+		{"relation": "CT", "row": map[string]string{"C": "cs101", "T": "jones"}},
+		{"relation": "CT", "row": map[string]string{"C": "cs102", "T": "curie"}},
+		{"relation": "CS", "row": map[string]string{"C": "cs101", "S": "ada"}},
+		{"relation": "CS", "row": map[string]string{"C": "cs101", "S": "bob"}},
+		{"relation": "CS", "row": map[string]string{"C": "cs999", "S": "eve"}},
+	} {
+		if resp, out := do(t, "POST", ts.URL+"/insert", op); resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert: %d %v", resp.StatusCode, out)
+		}
+	}
+
+	// Cross-relation window: students with the teacher of their course.
+	// cs999 has no CT tuple, so eve's row is not C,S,T-total.
+	resp, out := do(t, "GET", ts.URL+"/v1/window?attrs=C,S,T", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("window: %d %v", resp.StatusCode, out)
+	}
+	if out["fastPath"] != true {
+		t.Fatalf("window should use the fast path: %v", out)
+	}
+	if out["rowCount"].(float64) != 2 {
+		t.Fatalf("window rows: %v", out)
+	}
+
+	// Selection and projection.
+	resp, out = do(t, "GET", ts.URL+"/window?attrs=C,S,T&where=S=ada&project=T", nil)
+	if resp.StatusCode != http.StatusOK || out["rowCount"].(float64) != 1 {
+		t.Fatalf("filtered window: %d %v", resp.StatusCode, out)
+	}
+	row := out["rows"].([]any)[0].(map[string]any)
+	if row["T"] != "jones" {
+		t.Fatalf("ada's teacher: %v", row)
+	}
+
+	// Limit.
+	resp, out = do(t, "GET", ts.URL+"/window?attrs=C,S&limit=1", nil)
+	if resp.StatusCode != http.StatusOK || out["rowCount"].(float64) != 1 || out["total"].(float64) != 3 {
+		t.Fatalf("limited window: %d %v", resp.StatusCode, out)
+	}
+
+	// Second identical attribute set hits the plan cache.
+	resp, out = do(t, "GET", ts.URL+"/window?attrs=C,S,T", nil)
+	if resp.StatusCode != http.StatusOK || out["planCached"] != true {
+		t.Fatalf("plan cache: %d %v", resp.StatusCode, out)
+	}
+
+	// Malformed requests.
+	for _, q := range []string{"", "?attrs=", "?attrs=C&where=nope", "?attrs=C&limit=x", "?attrs=NO"} {
+		resp, out := do(t, "GET", ts.URL+"/window"+q, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("window%s: %d %v, want 400", q, resp.StatusCode, out)
+		}
+	}
+}
+
+// TestServerWindowChaseFallback checks the non-independent path: the window
+// over A,C needs the join-dependency chase (A -> C is not embedded), so the
+// result exists only through the global representative instance.
+func TestServerWindowChaseFallback(t *testing.T) {
+	ts, _ := newTestServer(t, "AB(A,B); BC(B,C)", "A -> C")
+	for _, op := range []map[string]any{
+		{"relation": "AB", "row": map[string]string{"A": "a1", "B": "b1"}},
+		{"relation": "BC", "row": map[string]string{"B": "b1", "C": "c1"}},
+	} {
+		if resp, out := do(t, "POST", ts.URL+"/insert", op); resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert: %d %v", resp.StatusCode, out)
+		}
+	}
+	resp, out := do(t, "GET", ts.URL+"/v1/window?attrs=A,C", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("window: %d %v", resp.StatusCode, out)
+	}
+	if out["fastPath"] != false {
+		t.Fatalf("non-independent schema should fall back to the chase: %v", out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("window rows: %v", out)
+	}
+	row := rows[0].(map[string]any)
+	if row["A"] != "a1" || row["C"] != "c1" {
+		t.Fatalf("window row: %v", row)
+	}
+}
+
+// FuzzWindowParams throws arbitrary query strings at the /window parameter
+// parser: it must never panic, and an accepted parse must satisfy the
+// parser's own invariants (attrs nonempty, limit non-negative, where pairs
+// well-formed).
+func FuzzWindowParams(f *testing.F) {
+	f.Add("attrs=C,T")
+	f.Add("attrs=C T&where=C=cs101&project=T&limit=10")
+	f.Add("attrs=,,&where==&limit=-1")
+	f.Add("where=A=1&where=A=2")
+	f.Add("attrs=%00&limit=99999999999999999999")
+	f.Fuzz(func(t *testing.T, raw string) {
+		vals, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		q, err := parseWindowQuery(vals)
+		if err != nil {
+			return
+		}
+		if len(q.Attrs) == 0 {
+			t.Fatalf("accepted query with no attrs: %q", raw)
+		}
+		if q.Limit < 0 {
+			t.Fatalf("accepted negative limit: %q", raw)
+		}
+		for attr := range q.Where {
+			if attr == "" {
+				t.Fatalf("accepted empty where attribute: %q", raw)
+			}
+		}
+	})
 }

@@ -102,9 +102,10 @@ func (cs *ConcurrentStore) InsertBatch(ops []BatchOp) error {
 
 // Snapshot returns an immutable consistent view of the store as a Database:
 // a deep copy that no later operation mutates, suitable for Satisfies,
-// Tuples, or rendering.
+// Tuples, rendering, or window queries (the snapshot shares the store's
+// query evaluator, so its plans and counters are the store's).
 func (cs *ConcurrentStore) Snapshot() *Database {
-	return &Database{schema: cs.schema, st: cs.eng.Snapshot()}
+	return &Database{schema: cs.schema, st: cs.eng.Snapshot(), qev: cs.eng.Evaluator()}
 }
 
 // Rows returns the total number of tuples across all relations.

@@ -8,6 +8,7 @@ import (
 	"indep/internal/chase"
 	"indep/internal/infer"
 	"indep/internal/maintenance"
+	"indep/internal/query"
 	"indep/internal/relation"
 	"indep/internal/schema"
 )
@@ -41,6 +42,10 @@ type attrSetT = attrset.Set
 type Database struct {
 	schema *Schema
 	st     *relation.State
+	// qev, when set, is the window evaluator the state originated from
+	// (store snapshots carry their store's, sharing its plan cache); nil
+	// falls back to the schema-wide evaluator. See Database.Query.
+	qev *query.Evaluator
 }
 
 // NewDatabase creates an empty database state.

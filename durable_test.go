@@ -464,7 +464,7 @@ func TestWALDepthVisible(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := ds.WAL()
-	if st.Appends == 0 || st.TotalBytes == 0 || st.Segments == 0 {
+	if st.Records == 0 || st.TotalBytes == 0 || st.Segments == 0 {
 		t.Fatalf("WAL stats empty: %+v", st)
 	}
 }

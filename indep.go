@@ -31,11 +31,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"indep/internal/acyclic"
 	"indep/internal/fd"
 	"indep/internal/independence"
 	"indep/internal/infer"
+	"indep/internal/query"
 	"indep/internal/schema"
 )
 
@@ -43,6 +45,11 @@ import (
 type Schema struct {
 	s   *schema.Schema
 	fds fd.List
+
+	// qmu guards qev, the lazily built window-query evaluator shared by
+	// every Database of this schema (see Database.Query).
+	qmu sync.Mutex
+	qev *query.Evaluator
 }
 
 // Parse builds a Schema from two compact declarations, e.g.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"indep/internal/chase"
@@ -25,6 +26,7 @@ import (
 	"indep/internal/independence"
 	"indep/internal/infer"
 	"indep/internal/maintenance"
+	"indep/internal/query"
 	"indep/internal/relation"
 	"indep/internal/schema"
 )
@@ -78,6 +80,19 @@ type Engine struct {
 	// hook, when set, observes successful mutations (see CommitHook). Set
 	// once before concurrent use; nil checks are unsynchronized.
 	hook CommitHook
+
+	// version counts successful mutations; commit bumps it under the same
+	// locks that guard the mutated relations. Together with snapCache it
+	// lets the query path reuse a snapshot for as long as no write lands
+	// in between (see QuerySnapshot).
+	version    atomic.Uint64
+	snapCache  atomic.Pointer[cachedSnapshot]
+	snapReuses atomic.Uint64
+	snapCopies atomic.Uint64
+
+	// ev is the window-query evaluator, built on first query (see Window).
+	evOnce sync.Once
+	ev     *query.Evaluator
 
 	shards []shard
 }
@@ -159,8 +174,10 @@ func (e *Engine) SetCommitHook(h CommitHook) { e.hook = h }
 
 // commit runs the hook (if any) for a successful mutation and returns the
 // wait function to invoke once locks are released. Callers hold the locks
-// guarding the mutated relations.
+// guarding the mutated relations; the version bump under those locks is
+// what keeps QuerySnapshot's cache coherent.
 func (e *Engine) commit(c Commit) func() error {
+	e.version.Add(1)
 	if e.hook == nil {
 		return nil
 	}

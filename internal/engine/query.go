@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"indep/internal/attrset"
+	"indep/internal/query"
+	"indep/internal/relation"
+)
+
+// cachedSnapshot pairs a deep-copied state with the mutation version it was
+// cut at. While the engine's version is unchanged the copy is current, so
+// queries can share it without taking any state lock.
+type cachedSnapshot struct {
+	version uint64
+	st      *relation.State
+}
+
+// QuerySnapshot returns a consistent state for lock-free reading. If no
+// mutation has landed since the last call the cached copy is returned
+// without touching a single lock — the common case under read-heavy load —
+// otherwise a fresh snapshot is cut (briefly holding the state locks, as
+// Snapshot does) and cached. The returned state is shared: callers must
+// treat it as immutable.
+func (e *Engine) QuerySnapshot() *relation.State {
+	if c := e.snapCache.Load(); c != nil && c.version == e.version.Load() {
+		e.snapReuses.Add(1)
+		return c.st
+	}
+	e.snapCopies.Add(1)
+	var v uint64
+	st := e.SnapshotWith(func() { v = e.version.Load() })
+	// A concurrent QuerySnapshot may store a newer cut first and this store
+	// may regress the cache; that is harmless — the stale entry just fails
+	// the version check on the next call.
+	e.snapCache.Store(&cachedSnapshot{version: v, st: st})
+	return st
+}
+
+// Evaluator returns the engine's window-query evaluator, built once from
+// the independence analysis the engine already holds. Snapshot-backed
+// databases reuse it so plans compile once per engine, not per view.
+func (e *Engine) Evaluator() *query.Evaluator { return e.evaluator() }
+
+// evaluator lazily builds the evaluator.
+func (e *Engine) evaluator() *query.Evaluator {
+	e.evOnce.Do(func() {
+		e.ev = query.NewEvaluator(e.s, e.fds, e.res, e.caps)
+	})
+	return e.ev
+}
+
+// Window computes the window [x] — the X-total projection of the
+// representative instance — over a consistent snapshot of the current
+// state. Evaluation never touches an engine state lock: concurrent
+// writers are never blocked by a running query, and a query never
+// observes a half-applied batch (readers do share read-locked probe
+// indexes on the snapshot itself). The snapshot the window was evaluated
+// against is returned alongside the result so callers can render values
+// through its dictionary.
+func (e *Engine) Window(x attrset.Set) (*query.Result, *relation.State, error) {
+	st := e.QuerySnapshot()
+	res, err := e.evaluator().Window(st, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, st, nil
+}
+
+// QueryStats extends the evaluator's counters with the snapshot cache's.
+type QueryStats struct {
+	query.Stats
+	SnapshotReuses uint64 // queries served from the cached snapshot
+	SnapshotCopies uint64 // queries that had to cut a fresh snapshot
+}
+
+// QueryStats returns the engine's query-side counters.
+func (e *Engine) QueryStats() QueryStats {
+	return QueryStats{
+		Stats:          e.evaluator().Stats(),
+		SnapshotReuses: e.snapReuses.Load(),
+		SnapshotCopies: e.snapCopies.Load(),
+	}
+}

@@ -1,0 +1,280 @@
+// Package query evaluates window queries — the paper's X-total projections
+// of the representative instance — over immutable database states.
+//
+// The representative instance of a state p is the chase of the padded
+// universal relation I(p); the window [X] for an attribute set X is the
+// projection onto X of its X-total rows (rows whose X columns all resolved
+// to constants). Windows are the natural query semantics for weak-instance
+// databases: they answer "what does the state, plus everything the
+// dependencies force, say about X?" without inventing values.
+//
+// The payoff of independence is that windows are computable
+// relation-by-relation. For an independent schema, each accepted Loop run
+// leaves behind extension data (independence.AcceptedRun): any tuple of r_l
+// extends to a universal tuple whose determined attributes are computed by
+// tiny tableau valuations (Theorem 5), so the window is the union, over
+// relations, of the X-total tuple extensions — local joins, no global
+// chase. For any other schema the Evaluator falls back to chasing the
+// padded state, which is the honest exponential-worst-case cost the paper's
+// Theorem 1 imposes.
+//
+// Plans are cached per attribute set: deciding which relations can
+// contribute to a window (and materializing their extension data) happens
+// once per distinct X, so repeated windows skip straight to evaluation.
+// Evaluators are safe for concurrent use; evaluation never mutates the
+// state it reads, so callers may share one immutable snapshot across any
+// number of concurrent Window calls.
+package query
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"indep/internal/attrset"
+	"indep/internal/chase"
+	"indep/internal/fd"
+	"indep/internal/independence"
+	"indep/internal/infer"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// Evaluator answers window queries for one schema. Create with
+// NewEvaluator; all methods are safe for concurrent use.
+type Evaluator struct {
+	s    *schema.Schema
+	fds  fd.List
+	caps chase.Caps
+
+	// Fast path (independent schemas): cover is the embedded cover the
+	// decision procedure extracted; runs[l] holds scheme l's extension data,
+	// built lazily on first use and immutable afterwards.
+	fast  bool
+	cover infer.AssignedList
+
+	// Chase path: jd reports whether the fallback chase must apply the
+	// join-dependency rule (false when every FD is embedded, per Lemma 4).
+	jd bool
+
+	mu    sync.Mutex
+	runs  []*independence.AcceptedRun
+	plans map[attrset.Set]*Plan
+
+	queries    atomic.Uint64
+	planHits   atomic.Uint64
+	fastEvals  atomic.Uint64
+	chaseEvals atomic.Uint64
+}
+
+// Stats is a point-in-time view of an evaluator's counters.
+type Stats struct {
+	Queries    uint64 // Window calls
+	PlanHits   uint64 // queries answered from the plan cache
+	FastEvals  uint64 // windows evaluated relation-by-relation
+	ChaseEvals uint64 // windows evaluated by the fallback chase
+}
+
+// NewEvaluator builds an evaluator from an independence analysis result
+// (the same Result the engine and the public Analysis are built from).
+func NewEvaluator(s *schema.Schema, fds fd.List, res *independence.Result, caps chase.Caps) *Evaluator {
+	ev := &Evaluator{
+		s:     s,
+		fds:   fds,
+		caps:  caps,
+		plans: make(map[attrset.Set]*Plan),
+	}
+	if res.Independent {
+		ev.fast = true
+		ev.cover = res.Cover
+		ev.runs = make([]*independence.AcceptedRun, s.Size())
+	} else {
+		ev.jd = !infer.AllEmbedded(s, fds)
+	}
+	return ev
+}
+
+// Fast reports whether windows evaluate relation-by-relation (independent
+// schema) rather than through the serialized chase.
+func (ev *Evaluator) Fast() bool { return ev.fast }
+
+// Stats returns the evaluator's operation counters.
+func (ev *Evaluator) Stats() Stats {
+	return Stats{
+		Queries:    ev.queries.Load(),
+		PlanHits:   ev.planHits.Load(),
+		FastEvals:  ev.fastEvals.Load(),
+		ChaseEvals: ev.chaseEvals.Load(),
+	}
+}
+
+// Plan is a compiled window query for one attribute set: which relations
+// can contribute tuples and, for the fast path, their extension data. Plans
+// are immutable and cached by the evaluator, so repeated windows over the
+// same attribute set skip the closure and join-order computation.
+type Plan struct {
+	// X is the window attribute set the plan answers.
+	X attrset.Set
+	// Fast reports whether the plan evaluates relation-by-relation.
+	Fast bool
+	// Schemes lists the relations that can contribute: scheme l is relevant
+	// iff every attribute of X is available in R_l⁺ (its extensions can
+	// determine all of X). Chase plans leave it nil — the chase always
+	// consults the whole state.
+	Schemes []int
+
+	// runs[i] is the extension data for Schemes[i]; local[i] reports that
+	// X ⊆ R_l, so the contribution is the plain projection π_X(r_l) and no
+	// valuations are needed.
+	runs  []*independence.AcceptedRun
+	local []bool
+}
+
+// run returns scheme l's extension data, building it on first use. For an
+// independent schema The Loop accepts every scheme, so a rejection here is
+// impossible by Theorem 2; it is reported as an error rather than a panic
+// because the evaluator may outlive bugs elsewhere.
+func (ev *Evaluator) run(l int) (*independence.AcceptedRun, error) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if ev.runs[l] == nil {
+		run, rej := independence.PrepareExtension(ev.s, ev.cover, l)
+		if rej != nil {
+			return nil, fmt.Errorf("query: Loop rejected scheme %s of an independent schema: %v",
+				ev.s.Name(l), rej)
+		}
+		ev.runs[l] = run
+	}
+	return ev.runs[l], nil
+}
+
+// MaxCachedPlans bounds the plan cache. Attribute sets come straight from
+// clients (GET /v1/window), so an unbounded cache would let a scan of
+// distinct subsets grow the daemon's memory without limit; past the cap,
+// new attribute sets are still answered, just re-planned per query.
+const MaxCachedPlans = 4096
+
+// Plan compiles (or fetches from cache) the plan for the window [x]. The
+// boolean reports a cache hit.
+func (ev *Evaluator) Plan(x attrset.Set) (*Plan, bool, error) {
+	if x.IsEmpty() {
+		return nil, false, fmt.Errorf("query: empty window attribute set")
+	}
+	if !x.SubsetOf(ev.s.U.All()) {
+		return nil, false, fmt.Errorf("query: window attributes outside the universe")
+	}
+	ev.mu.Lock()
+	if p, ok := ev.plans[x]; ok {
+		ev.mu.Unlock()
+		ev.planHits.Add(1)
+		return p, true, nil
+	}
+	ev.mu.Unlock()
+
+	p := &Plan{X: x, Fast: ev.fast}
+	if ev.fast {
+		for l := range ev.s.Rels {
+			run, err := ev.run(l)
+			if err != nil {
+				return nil, false, err
+			}
+			if !x.SubsetOf(run.Available()) {
+				continue // no tuple of r_l can be X-total in its extension
+			}
+			p.Schemes = append(p.Schemes, l)
+			p.runs = append(p.runs, run)
+			p.local = append(p.local, x.SubsetOf(ev.s.Attrs(l)))
+		}
+	}
+	ev.mu.Lock()
+	if prev, ok := ev.plans[x]; ok { // raced with another planner
+		p = prev
+	} else if len(ev.plans) < MaxCachedPlans {
+		ev.plans[x] = p
+	}
+	ev.mu.Unlock()
+	return p, false, nil
+}
+
+// Result is the outcome of one window evaluation.
+type Result struct {
+	// X is the window attribute set.
+	X attrset.Set
+	// Rows is the window: an instance over X holding the X-total projection
+	// of the representative instance.
+	Rows *relation.Instance
+	// Fast reports relation-by-relation evaluation (no chase).
+	Fast bool
+	// PlanCached reports that the plan came from the cache.
+	PlanCached bool
+}
+
+// Window computes the window [x] over the state. The state must be
+// immutable for the duration of the call (engine snapshots are); it is
+// never mutated. For a non-independent schema the fallback chase can
+// exhaust its budget (chase.ErrBudget) or, if the state does not satisfy
+// the dependencies, report the contradiction — maintained states never do.
+func (ev *Evaluator) Window(st *relation.State, x attrset.Set) (*Result, error) {
+	ev.queries.Add(1)
+	plan, cached, err := ev.Plan(x)
+	if err != nil {
+		return nil, err
+	}
+	var rows *relation.Instance
+	if plan.Fast {
+		ev.fastEvals.Add(1)
+		rows = evalFast(plan, st)
+	} else {
+		ev.chaseEvals.Add(1)
+		rows, err = ev.evalChase(st, x)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{X: x, Rows: rows, Fast: plan.Fast, PlanCached: cached}, nil
+}
+
+// evalFast is the independent-schema window: the union over relevant
+// relations of the X-total extensions of their tuples (Theorem 5). When X
+// is embedded in the scheme the extension's X-projection is the tuple
+// itself, so the contribution collapses to the plain projection.
+func evalFast(p *Plan, st *relation.State) *relation.Instance {
+	out := relation.NewInstance(p.X)
+	cols := p.X.Attrs()
+	for i, l := range p.Schemes {
+		if p.local[i] {
+			for _, t := range st.Insts[l].Project(p.X).Tuples {
+				out.Add(t)
+			}
+			continue
+		}
+		run := p.runs[i]
+		for _, t := range st.Insts[l].Tuples {
+			ext, determined := run.ExtendTuple(st, t)
+			if !p.X.SubsetOf(determined) {
+				continue
+			}
+			proj := make(relation.Tuple, len(cols))
+			for j, a := range cols {
+				proj[j] = ext[a]
+			}
+			out.Add(proj)
+		}
+	}
+	return out
+}
+
+// evalChase is the general window: chase the padded state to the
+// representative instance, then take the X-total projection.
+func (ev *Evaluator) evalChase(st *relation.State, x attrset.Set) (*relation.Instance, error) {
+	e := chase.NewEngine(ev.s.U)
+	e.PadState(st)
+	var jdSchema *schema.Schema
+	if ev.jd {
+		jdSchema = ev.s
+	}
+	if err := e.Chase(ev.fds, jdSchema, ev.caps); err != nil {
+		return nil, err
+	}
+	return e.TotalProjection(x), nil
+}

@@ -1,0 +1,280 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"indep/internal/attrset"
+	"indep/internal/chase"
+	"indep/internal/fd"
+	"indep/internal/independence"
+	"indep/internal/infer"
+	"indep/internal/relation"
+	"indep/internal/schema"
+	"indep/internal/workload"
+)
+
+// newEvaluator decides independence and builds an evaluator, failing the
+// test on analysis errors.
+func newEvaluator(t *testing.T, s *schema.Schema, fds fd.List) *Evaluator {
+	t.Helper()
+	res, err := independence.Decide(s, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEvaluator(s, fds, res, chase.DefaultCaps)
+}
+
+// oracleWindow computes the window by the definition: chase the padded
+// state to the representative instance, take the X-total projection.
+func oracleWindow(t *testing.T, s *schema.Schema, fds fd.List, st *relation.State, x attrset.Set) *relation.Instance {
+	t.Helper()
+	e := chase.NewEngine(s.U)
+	e.PadState(st)
+	var jd *schema.Schema
+	if !infer.AllEmbedded(s, fds) {
+		jd = s
+	}
+	if err := e.Chase(fds, jd, chase.DefaultCaps); err != nil {
+		t.Fatal(err)
+	}
+	return e.TotalProjection(x)
+}
+
+// sameInstance reports whether two instances hold the same tuple set.
+func sameInstance(a, b *relation.Instance) bool {
+	if a.Attrs != b.Attrs || a.Len() != b.Len() {
+		return false
+	}
+	for _, t := range a.Tuples {
+		if !b.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// example2State builds a satisfying state over the paper's Example 2
+// schema CT(C,T); CS(C,S); CHR(C,H,R).
+func example2State(s *schema.Schema) *relation.State {
+	st := relation.NewState(s)
+	st.AddNamed("CT", map[string]string{"C": "cs101", "T": "jones"})
+	st.AddNamed("CT", map[string]string{"C": "cs102", "T": "curie"})
+	st.AddNamed("CS", map[string]string{"C": "cs101", "S": "ada"})
+	st.AddNamed("CS", map[string]string{"C": "cs101", "S": "bob"})
+	st.AddNamed("CS", map[string]string{"C": "cs999", "S": "eve"})
+	st.AddNamed("CHR", map[string]string{"C": "cs101", "H": "mon9", "R": "r12"})
+	return st
+}
+
+func TestWindowIndependentFastPath(t *testing.T) {
+	s, fds := workload.Example2()
+	ev := newEvaluator(t, s, fds)
+	if !ev.Fast() {
+		t.Fatal("Example 2 is independent; evaluator must take the fast path")
+	}
+	st := example2State(s)
+
+	u := s.U
+	cases := []struct {
+		attrs string
+		want  int
+	}{
+		{"C T", 2},   // local projection of CT
+		{"C S", 3},   // local projection of CS
+		{"C S T", 2}, // extension join: eve's cs999 has no teacher
+		{"S T", 2},   // ada and bob both map to jones; eve has no teacher
+		{"C H R T", 1},
+		{"T", 2},
+	}
+	for _, c := range cases {
+		x := u.Set(strings.Fields(c.attrs)...)
+		res, err := ev.Window(st, x)
+		if err != nil {
+			t.Fatalf("window [%s]: %v", c.attrs, err)
+		}
+		if !res.Fast {
+			t.Fatalf("window [%s] should be fast", c.attrs)
+		}
+		if res.Rows.Len() != c.want {
+			t.Fatalf("window [%s] = %d rows, want %d", c.attrs, res.Rows.Len(), c.want)
+		}
+		if oracle := oracleWindow(t, s, fds, st, x); !sameInstance(res.Rows, oracle) {
+			t.Fatalf("window [%s] disagrees with the chase oracle:\nfast: %v\noracle: %v",
+				c.attrs, res.Rows.Tuples, oracle.Tuples)
+		}
+	}
+}
+
+// TestWindowMatchesOracleRandom cross-checks the fast path against the
+// chase oracle over random satisfying states of independent schemas and
+// random window attribute sets.
+func TestWindowMatchesOracleRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	schemas := []func() (*schema.Schema, fd.List){workload.Example2, workload.University}
+	for _, mk := range schemas {
+		s, fds := mk()
+		ev := newEvaluator(t, s, fds)
+		if !ev.Fast() {
+			t.Fatalf("%s: expected independent schema", s)
+		}
+		for round := 0; round < 10; round++ {
+			st := workload.LocalState(r, s, fds, 4, 3, 200)
+			if st == nil {
+				continue // no locally satisfying state found this round
+			}
+			for k := 0; k < 8; k++ {
+				var x attrset.Set
+				n := s.U.Size()
+				for x.IsEmpty() {
+					for a := 0; a < n; a++ {
+						if r.Intn(n) < 2 {
+							x.Add(a)
+						}
+					}
+				}
+				res, err := ev.Window(st, x)
+				if err != nil {
+					t.Fatalf("window: %v", err)
+				}
+				oracle := oracleWindow(t, s, fds, st, x)
+				if !sameInstance(res.Rows, oracle) {
+					t.Fatalf("%s: window [%s] over\n%s\nfast %v != oracle %v",
+						s, s.U.Format(x, " "), st, res.Rows.Tuples, oracle.Tuples)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowChaseFallback evaluates a window that only the global chase
+// can answer: A -> C is not embedded, so the representative instance gains
+// the (a,b,c) row only through the join-dependency rule.
+func TestWindowChaseFallback(t *testing.T) {
+	s := schema.MustParse("AB(A,B); BC(B,C)")
+	fds := fd.MustParse(s.U, "A -> C")
+	ev := newEvaluator(t, s, fds)
+	if ev.Fast() {
+		t.Fatal("A -> C is not cover-embedded; evaluator must fall back to the chase")
+	}
+	st := relation.NewState(s)
+	st.AddNamed("AB", map[string]string{"A": "a1", "B": "b1"})
+	st.AddNamed("BC", map[string]string{"B": "b1", "C": "c1"})
+	st.AddNamed("AB", map[string]string{"A": "a2", "B": "b2"}) // dangling: no BC row
+
+	x := s.U.Set("A", "C")
+	res, err := ev.Window(st, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fast {
+		t.Fatal("expected chase evaluation")
+	}
+	if res.Rows.Len() != 1 {
+		t.Fatalf("window [A C] = %v, want exactly (a1,c1)", res.Rows.Tuples)
+	}
+	want := relation.Tuple{st.Dict.Value("a1"), st.Dict.Value("c1")}
+	if !res.Rows.Has(want) {
+		t.Fatalf("window [A C] = %v, want %v", res.Rows.Tuples, want)
+	}
+}
+
+// TestWindowNonIndependentLoopRejected exercises the fallback on a schema
+// rejected by The Loop (Example 1): embedded FDs only, so the chase runs
+// without the JD rule, and windows still answer.
+func TestWindowNonIndependentLoopRejected(t *testing.T) {
+	s, fds := workload.Example1()
+	ev := newEvaluator(t, s, fds)
+	if ev.Fast() {
+		t.Fatal("Example 1 is not independent")
+	}
+	st := relation.NewState(s)
+	st.AddNamed("CD", map[string]string{"C": "CS402", "D": "CS"})
+	st.AddNamed("CT", map[string]string{"C": "CS402", "T": "Jones"})
+	st.AddNamed("TD", map[string]string{"T": "Jones", "D": "CS"})
+
+	res, err := ev.Window(st, s.U.Set("C", "T", "D"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() != 1 {
+		t.Fatalf("window [C T D] = %v", res.Rows.Tuples)
+	}
+	if oracle := oracleWindow(t, s, fds, st, s.U.Set("C", "T", "D")); !sameInstance(res.Rows, oracle) {
+		t.Fatal("fallback disagrees with the oracle (they should be the same computation)")
+	}
+}
+
+// TestWindowInconsistentStateReported: the chase fallback reports a
+// contradiction instead of inventing an answer for an unsatisfying state.
+func TestWindowInconsistentStateReported(t *testing.T) {
+	st, fds := workload.Example1State() // locally satisfying, globally not
+	ev := newEvaluator(t, st.Schema, fds)
+	if _, err := ev.Window(st, st.Schema.U.Set("C", "D")); err == nil {
+		t.Fatal("window over an unsatisfying state should report the contradiction")
+	}
+}
+
+func TestPlanCacheAndStats(t *testing.T) {
+	s, fds := workload.Example2()
+	ev := newEvaluator(t, s, fds)
+	st := example2State(s)
+	x := s.U.Set("C", "S", "T")
+
+	res, err := ev.Window(st, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanCached {
+		t.Fatal("first query cannot hit the plan cache")
+	}
+	res, err = ev.Window(st, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PlanCached {
+		t.Fatal("second query must hit the plan cache")
+	}
+	stats := ev.Stats()
+	if stats.Queries != 2 || stats.PlanHits != 1 || stats.FastEvals != 2 || stats.ChaseEvals != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPlanRelevance(t *testing.T) {
+	s, fds := workload.Example2()
+	ev := newEvaluator(t, s, fds)
+	// H is only in CHR; windows mentioning H can only draw from CHR
+	// extensions (CT and CS cannot determine H), so the plan must prune
+	// the other schemes.
+	p, _, err := ev.Plan(s.U.Set("C", "H"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Schemes) != 1 || s.Name(p.Schemes[0]) != "CHR" {
+		t.Fatalf("plan schemes for [C H]: %v", p.Schemes)
+	}
+	// T is determined by C, so every scheme can contribute to [C T].
+	p, _, err = ev.Plan(s.U.Set("C", "T"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Schemes) != 3 {
+		t.Fatalf("plan schemes for [C T]: %v", p.Schemes)
+	}
+}
+
+func TestWindowErrors(t *testing.T) {
+	s, fds := workload.Example2()
+	ev := newEvaluator(t, s, fds)
+	st := relation.NewState(s)
+	if _, err := ev.Window(st, attrset.Set{}); err == nil {
+		t.Fatal("empty window attribute set must be rejected")
+	}
+	var outside attrset.Set
+	outside.Add(s.U.Size()) // one past the universe
+	if _, err := ev.Window(st, outside); err == nil {
+		t.Fatal("attributes outside the universe must be rejected")
+	}
+}

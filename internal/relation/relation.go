@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"indep/internal/attrset"
 	"indep/internal/schema"
@@ -38,6 +39,17 @@ func (d *Dict) Value(name string) Value {
 	d.bound = append(d.bound, true)
 	d.index[name] = v
 	return v
+}
+
+// Lookup returns the value of an already-interned name without interning
+// it. Query selection uses it: a name the dictionary has never seen cannot
+// appear in any tuple, so the dictionary does not grow on misses.
+func (d *Dict) Lookup(name string) (Value, bool) {
+	if d == nil || d.index == nil {
+		return 0, false
+	}
+	v, ok := d.index[name]
+	return v, ok
 }
 
 // Name returns the display name of v, or its numeral if unnamed.
@@ -108,6 +120,14 @@ type Instance struct {
 	Attrs  attrset.Set
 	Tuples []Tuple
 	index  map[string]int // tuple key → position in Tuples
+
+	// secondary holds lazily built hash indexes over column subsets,
+	// keyed by the column-position list (see MatchingTuples). Guarded by
+	// secMu (read-locked on probes, write-locked only to build) and
+	// dropped on every mutation, so it only persists — and amortizes — on
+	// immutable instances such as engine snapshots.
+	secMu     sync.RWMutex
+	secondary map[string]map[string][]Tuple
 }
 
 // NewInstance creates an empty instance over the given scheme.
@@ -132,6 +152,61 @@ func (in *Instance) reindex() {
 	}
 }
 
+// invalidateSecondary drops the lazy match indexes; mutations call it so a
+// stale index can never answer a probe.
+func (in *Instance) invalidateSecondary() {
+	if in.secondary == nil {
+		return
+	}
+	in.secMu.Lock()
+	in.secondary = nil
+	in.secMu.Unlock()
+}
+
+// MatchingTuples returns the tuples agreeing with want on the given column
+// positions (in the instance's column order). With no columns it returns
+// every tuple. The first probe for a column set builds a hash index over it
+// (O(n)); later probes are O(1) plus the match count. Indexes are dropped
+// on mutation, so the amortization pays off on immutable instances — which
+// is exactly what the window-query evaluator probes: its per-tuple
+// extension joins against an engine snapshot would otherwise rescan the
+// joined relation for every tuple. Safe for concurrent use by readers.
+func (in *Instance) MatchingTuples(cols []int, want []Value) []Tuple {
+	if len(cols) == 0 {
+		return in.Tuples
+	}
+	var ck strings.Builder
+	for _, c := range cols {
+		fmt.Fprintf(&ck, "%d|", c)
+	}
+	in.secMu.RLock()
+	idx, ok := in.secondary[ck.String()]
+	in.secMu.RUnlock()
+	if !ok {
+		in.secMu.Lock()
+		if in.secondary == nil {
+			in.secondary = make(map[string]map[string][]Tuple)
+		}
+		if idx, ok = in.secondary[ck.String()]; !ok { // raced with another builder
+			idx = make(map[string][]Tuple, len(in.Tuples))
+			for _, t := range in.Tuples {
+				var vk strings.Builder
+				for _, c := range cols {
+					fmt.Fprintf(&vk, "%d|", int64(t[c]))
+				}
+				idx[vk.String()] = append(idx[vk.String()], t)
+			}
+			in.secondary[ck.String()] = idx
+		}
+		in.secMu.Unlock()
+	}
+	var vk strings.Builder
+	for _, v := range want {
+		fmt.Fprintf(&vk, "%d|", int64(v))
+	}
+	return idx[vk.String()]
+}
+
 // Add inserts a tuple (deduplicating). It panics if the arity is wrong,
 // since that is always a programming error.
 func (in *Instance) Add(t Tuple) bool {
@@ -143,6 +218,7 @@ func (in *Instance) Add(t Tuple) bool {
 	if _, ok := in.index[k]; ok {
 		return false
 	}
+	in.invalidateSecondary()
 	in.index[k] = len(in.Tuples)
 	in.Tuples = append(in.Tuples, t.Clone())
 	return true
@@ -158,6 +234,7 @@ func (in *Instance) Remove(t Tuple) bool {
 	if !ok {
 		return false
 	}
+	in.invalidateSecondary()
 	last := len(in.Tuples) - 1
 	if pos != last {
 		in.Tuples[pos] = in.Tuples[last]

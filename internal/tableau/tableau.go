@@ -129,7 +129,11 @@ type Valuation map[int]relation.Value
 // a choice of values for the dvs, extending anchor, such that every row
 // (i, S) matches some tuple of the state's i-th relation on the columns
 // S ∩ R_i. Nondistinguished variables are unconstrained and need no
-// assignment. The search backtracks over rows; tableaux here are tiny.
+// assignment. The search backtracks over rows (tableaux here are tiny);
+// each row's candidates come from a hash probe on its already-bound dv
+// columns (relation.Instance.MatchingTuples), so on an immutable state —
+// e.g. the engine snapshots the window-query evaluator reads — a probe is
+// O(1) instead of a scan of the relation.
 func FindValuation(t T, st *relation.State, anchor Valuation) (Valuation, bool) {
 	assign := make(Valuation, len(anchor))
 	for k, v := range anchor {
@@ -143,29 +147,32 @@ func FindValuation(t T, st *relation.State, anchor Valuation) (Valuation, bool) 
 		row := t[i]
 		inst := st.Insts[row.Tag]
 		cols := st.Schema.Attrs(row.Tag).Attrs()
-		for _, tu := range inst.Tuples {
-			// Check compatibility with current assignment on dv columns.
-			ok := true
-			var newly []int
-			for j, a := range cols {
-				if !row.DVs.Has(a) {
-					continue
-				}
-				if v, bound := assign[a]; bound {
-					if v != tu[j] {
-						ok = false
-						break
-					}
-				} else {
-					assign[a] = tu[j]
-					newly = append(newly, a)
-				}
+		// Split the row's dv columns into bound ones (they form the probe
+		// key) and free ones (bound by the candidate tuple).
+		var probeCols []int
+		var probeVals []relation.Value
+		type free struct{ j, a int }
+		var frees []free
+		for j, a := range cols {
+			if !row.DVs.Has(a) {
+				continue
 			}
-			if ok && rec(i+1) {
+			if v, bound := assign[a]; bound {
+				probeCols = append(probeCols, j)
+				probeVals = append(probeVals, v)
+			} else {
+				frees = append(frees, free{j: j, a: a})
+			}
+		}
+		for _, tu := range inst.MatchingTuples(probeCols, probeVals) {
+			for _, f := range frees {
+				assign[f.a] = tu[f.j]
+			}
+			if rec(i + 1) {
 				return true
 			}
-			for _, a := range newly {
-				delete(assign, a)
+			for _, f := range frees {
+				delete(assign, f.a)
 			}
 		}
 		return false

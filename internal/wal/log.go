@@ -77,9 +77,9 @@ type LogStats struct {
 	Segments     int    // segments on disk (including active)
 	ActiveBytes  int64  // bytes in the active segment
 	TotalBytes   int64  // bytes across all live segments: the replay debt
-	Appends      uint64 // records appended
+	Records      uint64 // records appended to the log
 	Syncs        uint64 // fsync calls issued
-	CommitGroups uint64 // write groups (Appends/CommitGroups = batching win)
+	CommitGroups uint64 // write groups (Records/CommitGroups = batching win)
 }
 
 // Log is an append-only write-ahead log with group commit. Any number of
@@ -489,7 +489,7 @@ func (l *Log) process(batch []queued) {
 	}
 
 	l.mu.Lock()
-	l.stats.Appends += appends
+	l.stats.Records += appends
 	l.stats.CommitGroups++
 	l.stats.ActiveSeq = l.activeSeq
 	l.stats.ActiveBytes = l.offset

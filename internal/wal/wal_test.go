@@ -170,11 +170,11 @@ func TestLogGroupCommitConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 	st := l.Stats()
-	if st.Appends != workers*each {
-		t.Fatalf("appends = %d, want %d", st.Appends, workers*each)
+	if st.Records != workers*each {
+		t.Fatalf("records = %d, want %d", st.Records, workers*each)
 	}
-	if st.CommitGroups == 0 || st.CommitGroups > st.Appends {
-		t.Fatalf("implausible commit groups %d for %d appends", st.CommitGroups, st.Appends)
+	if st.CommitGroups == 0 || st.CommitGroups > st.Records {
+		t.Fatalf("implausible commit groups %d for %d records", st.CommitGroups, st.Records)
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,247 @@
+package indep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indep/internal/chase"
+	"indep/internal/engine"
+	"indep/internal/independence"
+	"indep/internal/query"
+	"indep/internal/relation"
+)
+
+// WindowQuery describes a window query: the X-total projection of the
+// representative instance for the attribute set Attrs, optionally filtered,
+// projected, and truncated. Windows are the weak-instance answer to "what
+// does the database say about these attributes?": a row appears iff the
+// state, plus everything the dependencies force, determines a value for
+// every requested attribute.
+type WindowQuery struct {
+	// Attrs is the window attribute set X (required, any attributes of the
+	// universe — they need not lie in one relation).
+	Attrs []string
+	// Where keeps only rows whose attribute equals the named value. Keys
+	// must be attributes of Attrs; a value the store has never seen matches
+	// nothing.
+	Where map[string]string
+	// Project, when non-empty, projects the filtered window onto this
+	// subset of Attrs (duplicates collapse).
+	Project []string
+	// Limit, when positive, caps the number of returned rows (applied after
+	// filtering, projection, and sorting, so results are deterministic).
+	Limit int
+}
+
+// WindowResult is the outcome of a window query.
+type WindowResult struct {
+	// Attrs names the output columns — the window's attributes (restricted
+	// to Project when given) in universe order, i.e. the order attributes
+	// first appear in the schema declaration, not the order they were
+	// requested in. Rows are keyed by name, so only positional consumers
+	// need to care.
+	Attrs []string
+	// Rows holds the result as attribute-name → value-name maps, sorted
+	// lexicographically by column order for deterministic output.
+	Rows []map[string]string
+	// Total is the number of window rows after filtering and projection,
+	// before Limit.
+	Total int
+	// FastPath reports relation-by-relation evaluation (independent schema:
+	// local extension joins, no global chase).
+	FastPath bool
+	// PlanCached reports that the compiled plan for Attrs came from the
+	// evaluator's cache.
+	PlanCached bool
+}
+
+// QueryStats re-exports the engine's query-side counters: window queries
+// served, plan-cache hits, fast vs chase evaluations, and how often the
+// lock-free snapshot cache could be reused.
+type QueryStats = engine.QueryStats
+
+// Window computes the window [attrs] over a consistent snapshot of the
+// store. Equivalent to Query(WindowQuery{Attrs: attrs}).
+func (cs *ConcurrentStore) Window(attrs ...string) (*WindowResult, error) {
+	return cs.Query(WindowQuery{Attrs: attrs})
+}
+
+// Query evaluates a window query over a consistent snapshot of the store.
+// Evaluation is lock-free: writers are never blocked by a running query,
+// and a query never observes a half-applied batch. For an independent
+// schema the window is computed relation-by-relation through the extension
+// joins of Theorem 5; otherwise the padded state is chased, which can
+// exhaust the chase budget (test with Overloaded). Plans are cached per
+// attribute set, so repeated windows skip plan compilation.
+func (cs *ConcurrentStore) Query(q WindowQuery) (*WindowResult, error) {
+	x, err := cs.schema.attrSet(q.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	res, st, err := cs.eng.Window(x)
+	if err != nil {
+		return nil, err
+	}
+	return finishWindow(cs.schema, st, res, q)
+}
+
+// QueryStats returns the store's query-side counters.
+func (cs *ConcurrentStore) QueryStats() QueryStats { return cs.eng.QueryStats() }
+
+// Window computes the window [attrs] over this database state. Equivalent
+// to Query(WindowQuery{Attrs: attrs}).
+func (db *Database) Window(attrs ...string) (*WindowResult, error) {
+	return db.Query(WindowQuery{Attrs: attrs})
+}
+
+// Query evaluates a window query over this database state (for example a
+// ConcurrentStore snapshot, or a hand-built state). The state must satisfy
+// the dependencies — maintained states and snapshots always do; for a
+// hand-built inconsistent state the chase path reports the contradiction
+// and the fast path's answers are meaningless. Store snapshots carry their
+// store's evaluator (shared plan cache, queries counted in the store's
+// QueryStats); other databases share one evaluator per Schema.
+func (db *Database) Query(q WindowQuery) (*WindowResult, error) {
+	x, err := db.schema.attrSet(q.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	ev := db.qev
+	if ev == nil {
+		if ev, err = db.schema.windowEvaluator(); err != nil {
+			return nil, err
+		}
+	}
+	res, err := ev.Window(db.st, x)
+	if err != nil {
+		return nil, err
+	}
+	return finishWindow(db.schema, db.st, res, q)
+}
+
+// windowEvaluator returns the schema's shared window evaluator, running the
+// independence decision procedure once on first use.
+func (s *Schema) windowEvaluator() (*query.Evaluator, error) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.qev == nil {
+		res, err := independence.Decide(s.s, s.fds)
+		if err != nil {
+			return nil, err
+		}
+		s.qev = query.NewEvaluator(s.s, s.fds, res, chase.DefaultCaps)
+	}
+	return s.qev, nil
+}
+
+// finishWindow applies selection, projection, limit, and name rendering to
+// a raw window instance, using the dictionary of the state the window was
+// evaluated against.
+func finishWindow(s *Schema, st *relation.State, res *query.Result, q WindowQuery) (*WindowResult, error) {
+	rows := res.Rows
+
+	// Selection: translate names through the dictionary without interning;
+	// an unseen value cannot appear in any tuple, so it matches nothing.
+	if len(q.Where) > 0 {
+		cols := rows.Attrs.Attrs()
+		colAt := make(map[int]int, len(cols))
+		for i, a := range cols {
+			colAt[a] = i
+		}
+		type cond struct {
+			col int
+			v   relation.Value
+		}
+		conds := make([]cond, 0, len(q.Where))
+		// Validate every condition before acting on any: an unseen value
+		// means an empty result, but must not short-circuit validation of
+		// the remaining conditions (map order would make errors flaky).
+		empty := false
+		for name, val := range q.Where {
+			i, ok := s.s.U.Index(name)
+			if !ok {
+				return nil, fmt.Errorf("indep: unknown attribute %q in Where", name)
+			}
+			if !res.X.Has(i) {
+				return nil, fmt.Errorf("indep: Where attribute %s is not in the window %s",
+					name, strings.Join(s.s.U.Names(res.X), " "))
+			}
+			v, ok := st.Dict.Lookup(val)
+			if !ok {
+				empty = true
+				continue
+			}
+			conds = append(conds, cond{col: colAt[i], v: v})
+		}
+		filtered := relation.NewInstance(rows.Attrs)
+		if !empty {
+			for _, t := range rows.Tuples {
+				ok := true
+				for _, c := range conds {
+					if t[c.col] != c.v {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					filtered.Add(t)
+				}
+			}
+		}
+		rows = filtered
+	}
+
+	// Projection: collapse onto a subset of the window attributes.
+	outAttrs := res.X
+	if len(q.Project) > 0 {
+		y, err := s.attrSet(q.Project)
+		if err != nil {
+			return nil, err
+		}
+		if !y.SubsetOf(res.X) {
+			return nil, fmt.Errorf("indep: projection %s is not a subset of the window %s",
+				strings.Join(s.s.U.Names(y), " "), strings.Join(s.s.U.Names(res.X), " "))
+		}
+		rows = rows.Project(y)
+		outAttrs = y
+	}
+
+	// Sort by rendered value key for determinism, then render only the
+	// rows the limit keeps — a limit-5 query over a million-row window
+	// should not allocate a million maps.
+	names := s.s.U.Names(outAttrs)
+	out := &WindowResult{
+		Attrs:      names,
+		Total:      rows.Len(),
+		FastPath:   res.Fast,
+		PlanCached: res.PlanCached,
+	}
+	keys := make([]string, rows.Len())
+	order := make([]int, rows.Len())
+	for i, t := range rows.Tuples {
+		var k strings.Builder
+		for j := range names {
+			k.WriteString(st.Dict.Name(t[j]))
+			k.WriteByte(0)
+		}
+		keys[i] = k.String()
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	n := len(order)
+	if q.Limit > 0 && n > q.Limit {
+		n = q.Limit
+	}
+	rendered := make([]map[string]string, n)
+	for i := 0; i < n; i++ {
+		t := rows.Tuples[order[i]]
+		row := make(map[string]string, len(names))
+		for j, name := range names {
+			row[name] = st.Dict.Name(t[j])
+		}
+		rendered[i] = row
+	}
+	out.Rows = rendered
+	return out, nil
+}
