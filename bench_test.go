@@ -127,6 +127,7 @@ func BenchmarkGuardInsert(b *testing.B) {
 	s, fds := workload.Example2()
 	res, _ := independence.Decide(s, fds)
 	g := maintenance.NewGuard(s, res.Cover)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := relation.Value(i)
@@ -134,6 +135,51 @@ func BenchmarkGuardInsert(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGuardReject measures the rejection path: the verify phase plus
+// the precomputed violation error, which together allocate nothing.
+func BenchmarkGuardReject(b *testing.B) {
+	s, fds := workload.Example2()
+	res, _ := independence.Decide(s, fds)
+	g := maintenance.NewGuard(s, res.Cover)
+	if err := g.Insert(0, relation.Tuple{1, 10}); err != nil {
+		b.Fatal(err)
+	}
+	bad := relation.Tuple{1, 11} // same C, different T: violates C→T
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Insert(0, bad); err == nil {
+			b.Fatal("want violation")
+		}
+	}
+}
+
+// BenchmarkInstanceOps pins the relation-layer floor the maintainers sit
+// on: membership probes and duplicate adds over the hashed primary index.
+func BenchmarkInstanceOps(b *testing.B) {
+	in := relation.NewInstance(attrset.Of(0, 1, 2))
+	for i := 0; i < 4096; i++ {
+		in.Add(relation.Tuple{relation.Value(i), relation.Value(i % 17), relation.Value(i % 5)})
+	}
+	probe := relation.Tuple{100, 100 % 17, 0}
+	b.Run("has", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !in.Has(probe) {
+				b.Fatal("probe must be present")
+			}
+		}
+	})
+	b.Run("add-dup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if in.Add(probe) {
+				b.Fatal("probe must be a duplicate")
+			}
+		}
+	})
 }
 
 func BenchmarkChaseMaintainerInsert(b *testing.B) {
@@ -147,6 +193,7 @@ func BenchmarkChaseMaintainerInsert(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c := relation.Value(base + i)

@@ -14,6 +14,7 @@
 //	indepbench -engine -durable -nofsync        # WAL write cost without fsync
 //
 //	indepbench -query -readers 8 -workers 2 -duration 3s
+//	indepbench -engine -json        # machine-readable result with allocs/op
 //
 // The -engine mode drives inserts through the public ConcurrentStore —
 // the same per-relation lock stripes indepd serves from — and reports
@@ -27,9 +28,15 @@
 // lock-free snapshots. It reports write tuples/s, read queries/s, and read
 // latency percentiles — run it at different -readers (or GOMAXPROCS) to
 // see reads scale with cores against a concurrent writer.
+//
+// With -json either load emits a single JSON object instead of text,
+// including -benchmem-style allocs/op and B/op (whole-process MemStats
+// deltas divided by operations), so CI and the BENCH_*.json records can
+// compare runs mechanically.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -67,6 +74,7 @@ func main() {
 	durable := flag.Bool("durable", false, "run on a write-ahead-logged DurableStore")
 	dir := flag.String("dir", "", "data directory for -durable (default: a temp dir, removed after)")
 	noFsync := flag.Bool("nofsync", false, "durable mode without fsync")
+	jsonOut := flag.Bool("json", false, "emit one JSON result object (with -benchmem-style ns/op, B/op, allocs/op) instead of text")
 	flag.Parse()
 
 	if *engine || *queryMode {
@@ -75,6 +83,7 @@ func main() {
 			n: *n, batch: *batch, workers: *workers,
 			readers: *readers, duration: *duration,
 			durable: *durable, dir: *dir, noFsync: *noFsync,
+			jsonOut: *jsonOut,
 		}
 		run := runEngine
 		if *queryMode {
@@ -116,6 +125,66 @@ type engineConfig struct {
 	durable        bool
 	dir            string
 	noFsync        bool
+	jsonOut        bool
+}
+
+// memProbe brackets a load with runtime.MemStats reads so the report can
+// carry -benchmem-style figures: whole-process Mallocs and TotalAlloc
+// deltas divided by operation count. A GC before the first read drops
+// setup garbage from the delta.
+type memProbe struct{ m0 runtime.MemStats }
+
+func startMemProbe() *memProbe {
+	p := &memProbe{}
+	runtime.GC()
+	runtime.ReadMemStats(&p.m0)
+	return p
+}
+
+// perOp returns (allocs/op, bytes/op) for ops operations since the probe
+// started.
+func (p *memProbe) perOp(ops int64) (allocs, bytes float64) {
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	if ops <= 0 {
+		return 0, 0
+	}
+	return float64(m1.Mallocs-p.m0.Mallocs) / float64(ops),
+		float64(m1.TotalAlloc-p.m0.TotalAlloc) / float64(ops)
+}
+
+// benchReport is the -json output: one object per run, stable field names,
+// so CI and BENCH_*.json records can diff runs mechanically.
+type benchReport struct {
+	Mode         string  `json:"mode"` // "engine" or "query"
+	Shape        string  `json:"shape"`
+	Schemes      int     `json:"schemes"`
+	Attrs        int     `json:"attrs"`
+	FastPath     bool    `json:"fastPath"`
+	Store        string  `json:"store"`
+	Workers      int     `json:"workers"`
+	Batch        int     `json:"batch"`
+	WriteTuples  int64   `json:"writeTuples"`
+	WriteTPS     float64 `json:"writeTuplesPerSec"`
+	WriteNsPerOp float64 `json:"writeNsPerOp"`
+	Readers      int     `json:"readers,omitempty"`
+	ReadQueries  int64   `json:"readQueries,omitempty"`
+	ReadQPS      float64 `json:"readQueriesPerSec,omitempty"`
+	ReadP50Ns    int64   `json:"readP50Ns,omitempty"`
+	ReadP99Ns    int64   `json:"readP99Ns,omitempty"`
+	// MeasuredOps is the denominator of AllocsPerOp/BytesPerOp: write
+	// tuples in engine mode, write tuples + read queries in query mode.
+	// Compare per-op figures only between runs of the same mode.
+	MeasuredOps int64   `json:"measuredOps"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	ElapsedNs   int64   `json:"elapsedNs"`
+}
+
+func emitJSON(r benchReport) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // buildWorkloadSchema generates a covering schema of the requested shape
@@ -225,8 +294,10 @@ func runEngine(cfg engineConfig) error {
 	}
 	defer cleanup()
 	rels := sch.Relations()
-	fmt.Printf("engine load: shape=%s schemes=%d attrs=%d fast-path=%v mode=%s\n",
-		cfg.shape, len(rels), cfg.attrs, store.FastPath(), mode)
+	if !cfg.jsonOut {
+		fmt.Printf("engine load: shape=%s schemes=%d attrs=%d fast-path=%v mode=%s\n",
+			cfg.shape, len(rels), cfg.attrs, store.FastPath(), mode)
+	}
 
 	if cfg.batch < 1 {
 		cfg.batch = 1
@@ -245,6 +316,7 @@ func runEngine(cfg engineConfig) error {
 		starts[w+1] = starts[w] + count
 	}
 	errs := make(chan error, cfg.workers)
+	probe := startMemProbe()
 	start := time.Now()
 	for w := 0; w < cfg.workers; w++ {
 		go func(w int) {
@@ -277,9 +349,24 @@ func runEngine(cfg engineConfig) error {
 	}
 	elapsed := time.Since(start)
 	total := starts[cfg.workers]
-	fmt.Printf("inserted %d tuples in %v (%.0f tuples/s) batch=%d workers=%d rows=%d\n",
+	allocsPerOp, bytesPerOp := probe.perOp(int64(total))
+	if cfg.jsonOut {
+		return emitJSON(benchReport{
+			Mode: "engine", Shape: cfg.shape, Schemes: len(rels), Attrs: cfg.attrs,
+			FastPath: store.FastPath(), Store: mode,
+			Workers: cfg.workers, Batch: cfg.batch,
+			WriteTuples: int64(total),
+			WriteTPS:    float64(total) / elapsed.Seconds(),
+			WriteNsPerOp: float64(elapsed.Nanoseconds()) /
+				float64(max(total, 1)),
+			MeasuredOps: int64(total),
+			AllocsPerOp: allocsPerOp, BytesPerOp: bytesPerOp,
+			ElapsedNs: elapsed.Nanoseconds(),
+		})
+	}
+	fmt.Printf("inserted %d tuples in %v (%.0f tuples/s) batch=%d workers=%d rows=%d (%.1f allocs/op, %.0f B/op)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(),
-		cfg.batch, cfg.workers, store.Rows())
+		cfg.batch, cfg.workers, store.Rows(), allocsPerOp, bytesPerOp)
 
 	fmt.Printf("%-10s %10s %10s %10s %12s %12s\n", "relation", "tuples", "inserts", "rejects", "p50", "p99")
 	for _, st := range store.Stats() {
@@ -363,10 +450,13 @@ func runQuery(cfg engineConfig) error {
 	if cfg.readers < 1 {
 		cfg.readers = 1
 	}
-	fmt.Printf("query load: shape=%s schemes=%d attrs=%d fast-path=%v mode=%s writers=%d readers=%d batch=%d duration=%v gomaxprocs=%d\n",
-		cfg.shape, len(rels), cfg.attrs, store.FastPath(), mode,
-		cfg.workers, cfg.readers, cfg.batch, cfg.duration, runtime.GOMAXPROCS(0))
+	if !cfg.jsonOut {
+		fmt.Printf("query load: shape=%s schemes=%d attrs=%d fast-path=%v mode=%s writers=%d readers=%d batch=%d duration=%v gomaxprocs=%d\n",
+			cfg.shape, len(rels), cfg.attrs, store.FastPath(), mode,
+			cfg.workers, cfg.readers, cfg.batch, cfg.duration, runtime.GOMAXPROCS(0))
+	}
 
+	probe := startMemProbe()
 	var stop atomic.Bool
 	var wrote atomic.Int64
 	errc := make(chan error, cfg.workers+cfg.readers)
@@ -443,6 +533,24 @@ func runQuery(cfg engineConfig) error {
 			return 0
 		}
 		return all[int(p*float64(len(all)-1))]
+	}
+	allocsPerOp, bytesPerOp := probe.perOp(wrote.Load() + int64(len(all)))
+	if cfg.jsonOut {
+		w := wrote.Load()
+		return emitJSON(benchReport{
+			Mode: "query", Shape: cfg.shape, Schemes: len(rels), Attrs: cfg.attrs,
+			FastPath: store.FastPath(), Store: mode,
+			Workers: cfg.workers, Batch: cfg.batch, Readers: cfg.readers,
+			WriteTuples: w,
+			WriteTPS:    float64(w) / elapsed.Seconds(),
+			ReadQueries: int64(len(all)),
+			ReadQPS:     float64(len(all)) / elapsed.Seconds(),
+			ReadP50Ns:   pct(0.50).Nanoseconds(),
+			ReadP99Ns:   pct(0.99).Nanoseconds(),
+			MeasuredOps: w + int64(len(all)),
+			AllocsPerOp: allocsPerOp, BytesPerOp: bytesPerOp,
+			ElapsedNs: elapsed.Nanoseconds(),
+		})
 	}
 	fmt.Printf("writes: %d tuples in %v (%.0f tuples/s)\n",
 		wrote.Load(), elapsed.Round(time.Millisecond),

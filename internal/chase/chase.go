@@ -21,10 +21,10 @@ package chase
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"indep/internal/attrset"
 	"indep/internal/fd"
+	"indep/internal/hashkey"
 	"indep/internal/relation"
 	"indep/internal/schema"
 )
@@ -32,7 +32,9 @@ import (
 // Caps bounds a chase computation.
 type Caps struct {
 	MaxRows  int // maximum number of universal rows (JD-rule growth)
-	MaxIters int // maximum number of full FD/JD sweeps
+	MaxIters int // maximum number of FD/JD rounds (the FD-rule alone always
+	// terminates, so the budget only matters when a join dependency keeps
+	// adding rows between FD fixpoints)
 }
 
 // DefaultCaps is a budget comfortably above anything the test workloads
@@ -59,17 +61,45 @@ type Conflict struct {
 
 // Engine is a chase computation over a universal relation with tagged
 // symbol columns.
+//
+// The FD-rule runs as a worklist algorithm over persistent per-FD hash
+// buckets: every row is bucketed by the hash of its resolved left-hand-side
+// symbols, and when two symbols merge, only the rows incident to the losing
+// equivalence class are re-examined. This makes ChaseFDs incremental — rows
+// added after a fixpoint (a trial insert, or a JD round) cost only their own
+// consequences, not a full re-bucketing of the state.
 type Engine struct {
 	U      *attrset.Universe
 	width  int
 	parent []int32
+	rank   []uint8
 	kind   []symKind
 	val    []relation.Value
 	consts map[relation.Value]int32
 	rows   [][]int32
 
+	// FD worklist state (see ensureSettle/settle). specsSrc remembers the
+	// dependency list the buckets were built for; a different list rebuilds
+	// them. registered counts rows already bucketed, so rows appended after
+	// a fixpoint enqueue only themselves.
+	specsSrc   fd.List
+	specs      []fdSpec
+	buckets    []map[uint64][]int32
+	rowsOf     [][]int32 // symbol root → rows containing a symbol of its class
+	work       []int32
+	registered int
+
 	Failed   bool
 	Conflict *Conflict
+}
+
+// fdSpec is a dependency precompiled for the worklist: the attribute
+// positions of its left-hand side and of its effective right-hand side
+// (RHS − LHS).
+type fdSpec struct {
+	f   fd.FD
+	lhs []int
+	rhs []int
 }
 
 // NewEngine creates an empty engine over the universe.
@@ -84,6 +114,7 @@ func NewEngine(u *attrset.Universe) *Engine {
 func (e *Engine) newVar() int32 {
 	s := int32(len(e.parent))
 	e.parent = append(e.parent, s)
+	e.rank = append(e.rank, 0)
 	e.kind = append(e.kind, varSym)
 	e.val = append(e.val, 0)
 	return s
@@ -95,6 +126,7 @@ func (e *Engine) constSym(v relation.Value) int32 {
 	}
 	s := int32(len(e.parent))
 	e.parent = append(e.parent, s)
+	e.rank = append(e.rank, 0)
 	e.kind = append(e.kind, constSym)
 	e.val = append(e.val, v)
 	e.consts[v] = s
@@ -109,22 +141,30 @@ func (e *Engine) find(s int32) int32 {
 	return s
 }
 
-// union merges two symbols. It returns false (and records the conflict) if
-// both are distinct constants; constants absorb variables.
-func (e *Engine) union(a, b int32) bool {
+// union merges two symbol classes, constants absorbing variables and rank
+// breaking variable-variable ties. It returns the surviving root, the
+// absorbed root (-1 when the classes were already one), and ok=false when
+// both roots are distinct constants — the chase contradiction.
+func (e *Engine) union(a, b int32) (winner, loser int32, ok bool) {
 	ra, rb := e.find(a), e.find(b)
 	if ra == rb {
-		return true
+		return ra, -1, true
 	}
 	if e.kind[ra] == constSym && e.kind[rb] == constSym {
-		return false
+		return ra, rb, false
 	}
-	// Make the constant (if any) the root so constants survive merging.
-	if e.kind[ra] == constSym {
+	switch {
+	case e.kind[ra] == constSym:
+		// Constants must stay roots so merged classes keep their value.
+	case e.kind[rb] == constSym:
 		ra, rb = rb, ra
+	case e.rank[ra] < e.rank[rb]:
+		ra, rb = rb, ra
+	case e.rank[ra] == e.rank[rb]:
+		e.rank[ra]++
 	}
-	e.parent[ra] = rb
-	return true
+	e.parent[rb] = ra
+	return ra, rb, true
 }
 
 // NewVar allocates a fresh variable symbol for callers composing their own
@@ -142,25 +182,33 @@ func (e *Engine) AddRow(syms []int32) {
 	e.rows = append(e.rows, syms)
 }
 
+// PadTuple loads one padded tuple: constant symbols in the given attribute
+// columns (attrs[j] holds t[j]), a fresh variable everywhere else. The row
+// is picked up by the next ChaseFDs, which — the buckets being persistent —
+// chases only its consequences.
+func (e *Engine) PadTuple(attrs []int, t relation.Tuple) {
+	row := make([]int32, e.width)
+	for c := range row {
+		row[c] = -1
+	}
+	for j, a := range attrs {
+		row[a] = e.constSym(t[j])
+	}
+	for c := range row {
+		if row[c] < 0 {
+			row[c] = e.newVar()
+		}
+	}
+	e.AddRow(row)
+}
+
 // PadState loads I(p): every tuple of every relation becomes a universal
 // row, constant in its scheme's columns and a fresh variable elsewhere.
 func (e *Engine) PadState(st *relation.State) {
 	for i, in := range st.Insts {
 		attrs := st.Schema.Attrs(i).Attrs()
 		for _, t := range in.Tuples {
-			row := make([]int32, e.width)
-			for c := range row {
-				row[c] = -1
-			}
-			for j, a := range attrs {
-				row[a] = e.constSym(t[j])
-			}
-			for c := range row {
-				if row[c] < 0 {
-					row[c] = e.newVar()
-				}
-			}
-			e.AddRow(row)
+			e.PadTuple(attrs, t)
 		}
 	}
 }
@@ -168,81 +216,210 @@ func (e *Engine) PadState(st *relation.State) {
 // Rows returns the number of universal rows.
 func (e *Engine) Rows() int { return len(e.rows) }
 
-// resolvedKey renders a row's canonical symbol vector for deduplication.
-func (e *Engine) resolvedKey(row []int32) string {
-	var b strings.Builder
-	for _, s := range row {
-		fmt.Fprintf(&b, "%d|", e.find(s))
+// lhsHash hashes a row's resolved left-hand-side symbols.
+func (e *Engine) lhsHash(row []int32, lhs []int) uint64 {
+	h := hashkey.Init
+	for _, a := range lhs {
+		h = hashkey.Mix(h, uint64(uint32(e.find(row[a]))))
 	}
-	return b.String()
+	return h
 }
 
-// fdPass applies the FD-rule for every dependency once; it reports whether
-// any symbol was merged. On contradiction it records the conflict and
-// returns false for merged.
-func (e *Engine) fdPass(fds fd.List) (merged bool) {
+// buildSpecs precompiles the dependency list, dropping trivial FDs.
+func buildSpecs(fds fd.List) []fdSpec {
+	specs := make([]fdSpec, 0, len(fds))
 	for _, f := range fds {
-		lhs := f.LHS.Attrs()
 		rhs := f.RHS.Diff(f.LHS).Attrs()
 		if len(rhs) == 0 {
 			continue
 		}
-		buckets := make(map[string]int, len(e.rows))
-		for ri, row := range e.rows {
-			var k strings.Builder
-			for _, a := range lhs {
-				fmt.Fprintf(&k, "%d|", e.find(row[a]))
-			}
-			key := k.String()
-			if first, ok := buckets[key]; ok {
-				frow := e.rows[first]
-				for _, a := range rhs {
-					x, y := e.find(frow[a]), e.find(row[a])
-					if x == y {
-						continue
-					}
-					if !e.union(x, y) {
-						e.Failed = true
-						e.Conflict = &Conflict{FD: f, Attr: a, A: e.val[x], B: e.val[y]}
-						return false
-					}
-					merged = true
-				}
-			} else {
-				buckets[key] = ri
-			}
-		}
-		if merged {
-			// Re-bucketing is needed after merges; restart the pass so every
-			// pair that now agrees on the LHS is seen.
-			return true
+		specs = append(specs, fdSpec{f: f, lhs: f.LHS.Attrs(), rhs: rhs})
+	}
+	return specs
+}
+
+// sameFDs reports whether the engine's buckets were built for this list.
+// A never-built engine has a nil (length-0) specsSrc, so any non-empty
+// list triggers a build; an empty list matches it and needs none — settle
+// over zero specs is a no-op either way.
+func (e *Engine) sameFDs(fds fd.List) bool {
+	if len(e.specsSrc) != len(fds) {
+		return false
+	}
+	for i, f := range fds {
+		if e.specsSrc[i] != f {
+			return false
 		}
 	}
-	return merged
+	return true
+}
+
+// ensureSettle (re)builds the worklist state for the dependency list and
+// registers any rows added since the last fixpoint: each new row is indexed
+// under every symbol it contains and enqueued for processing.
+func (e *Engine) ensureSettle(fds fd.List) {
+	if !e.sameFDs(fds) {
+		e.specsSrc = append(fd.List(nil), fds...)
+		e.specs = buildSpecs(fds)
+		e.buckets = make([]map[uint64][]int32, len(e.specs))
+		for i := range e.buckets {
+			e.buckets[i] = make(map[uint64][]int32)
+		}
+		e.rowsOf = make([][]int32, len(e.parent))
+		e.work = e.work[:0]
+		e.registered = 0
+	}
+	for len(e.rowsOf) < len(e.parent) {
+		e.rowsOf = append(e.rowsOf, nil)
+	}
+	for e.registered < len(e.rows) {
+		r := int32(e.registered)
+		for _, s := range e.rows[r] {
+			root := e.find(s)
+			if lst := e.rowsOf[root]; len(lst) == 0 || lst[len(lst)-1] != r {
+				e.rowsOf[root] = append(lst, r)
+			}
+		}
+		e.work = append(e.work, r)
+		e.registered++
+	}
+}
+
+// settle drains the worklist: each popped row is probed against every FD's
+// bucket; a row with an equal resolved left-hand side has its right-hand
+// side unified with the bucket representative's. Unions wake exactly the
+// rows incident to the absorbed class (their resolved keys may have
+// changed), so work is proportional to consequences, not state size. The
+// union count is bounded by the symbol count, so settle always terminates.
+func (e *Engine) settle() error {
+	for len(e.work) > 0 {
+		r := e.work[len(e.work)-1]
+		e.work = e.work[:len(e.work)-1]
+		row := e.rows[r]
+		for j := range e.specs {
+			sp := &e.specs[j]
+			h := e.lhsHash(row, sp.lhs)
+			bucket := e.buckets[j][h]
+			match, self := int32(-1), false
+			w := 0
+			for _, c := range bucket {
+				crow := e.rows[c]
+				if e.lhsHash(crow, sp.lhs) != h {
+					continue // stale: re-registered under its current key
+				}
+				bucket[w] = c
+				w++
+				if c == r {
+					self = true
+					continue
+				}
+				if match < 0 && e.lhsAgree(row, crow, sp.lhs) {
+					match = c
+				}
+			}
+			if w != len(bucket) {
+				e.buckets[j][h] = bucket[:w]
+			}
+			if match < 0 {
+				if !self {
+					e.buckets[j][h] = append(e.buckets[j][h], r)
+				}
+				continue
+			}
+			mrow := e.rows[match]
+			for _, a := range sp.rhs {
+				x, y := e.find(row[a]), e.find(mrow[a])
+				if x == y {
+					continue
+				}
+				winner, loser, ok := e.union(x, y)
+				if !ok {
+					e.Failed = true
+					e.Conflict = &Conflict{FD: sp.f, Attr: a, A: e.val[x], B: e.val[y]}
+					return e.conflictErr()
+				}
+				e.wake(winner, loser)
+			}
+		}
+	}
+	return nil
+}
+
+// lhsAgree reports whether two rows resolve to the same symbols on the
+// left-hand-side columns.
+func (e *Engine) lhsAgree(a, b []int32, lhs []int) bool {
+	for _, at := range lhs {
+		if e.find(a[at]) != e.find(b[at]) {
+			return false
+		}
+	}
+	return true
+}
+
+// wake re-enqueues every row incident to the absorbed class and folds its
+// incidence list into the winner's.
+func (e *Engine) wake(winner, loser int32) {
+	lost := e.rowsOf[loser]
+	e.work = append(e.work, lost...)
+	e.rowsOf[winner] = append(e.rowsOf[winner], lost...)
+	e.rowsOf[loser] = nil
 }
 
 // ChaseFDs runs the FD-rule to fixpoint (Honeyman's satisfaction test when
 // the input state has one relation padded out). Returns nil on success, the
-// conflict as an error when the state is contradictory.
+// conflict as an error when the state is contradictory. The FD-rule alone
+// always terminates — each application shrinks the symbol-class count — so
+// caps are not consulted; they bound only the JD-rule (see Chase). Calling
+// ChaseFDs again after adding rows chases just the new rows' consequences.
 func (e *Engine) ChaseFDs(fds fd.List, caps Caps) error {
-	for iter := 0; ; iter++ {
-		if caps.MaxIters > 0 && iter > caps.MaxIters {
-			return ErrBudget
-		}
-		if !e.fdPass(fds) {
-			break
-		}
-	}
 	if e.Failed {
 		return e.conflictErr()
 	}
-	return nil
+	e.ensureSettle(fds)
+	return e.settle()
 }
 
 func (e *Engine) conflictErr() error {
 	c := e.Conflict
 	return fmt.Errorf("chase: contradiction applying %s at %s: constants %d vs %d",
 		c.FD.Format(e.U), e.U.Name(c.Attr), c.A, c.B)
+}
+
+// vecSet deduplicates int32 vectors by content hash with collision-checked
+// buckets; vecs holds the distinct vectors in insertion order.
+type vecSet struct {
+	buckets map[uint64][]int32
+	vecs    [][]int32
+}
+
+func newVecSet(hint int) *vecSet {
+	return &vecSet{buckets: make(map[uint64][]int32, hint)}
+}
+
+// add records v and reports whether it was fresh. The vector is stored, not
+// copied; callers must not mutate it afterwards.
+func (s *vecSet) add(v []int32) bool {
+	h := hashkey.Int32s(v)
+	for _, i := range s.buckets[h] {
+		if int32sEqual(s.vecs[i], v) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], int32(len(s.vecs)))
+	s.vecs = append(s.vecs, v)
+	return true
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // jdPass applies the JD-rule for *D once: it computes the natural join of
@@ -256,35 +433,29 @@ func (e *Engine) jdPass(s *schema.Schema, caps Caps) (added bool, err error) {
 		partials[0][c] = -1
 	}
 	var have attrset.Set
+	// posAt[a] is a's position within the current scheme's attribute list.
+	posAt := make([]int, e.width)
 	for _, r := range s.Rels {
 		attrs := r.Attrs.Attrs()
-		// Distinct projections of current rows onto this scheme.
-		projSeen := make(map[string][]int32)
+		for i, a := range attrs {
+			posAt[a] = i
+		}
+		// Distinct resolved projections of current rows onto this scheme.
+		projSeen := newVecSet(len(e.rows))
 		for _, row := range e.rows {
 			proj := make([]int32, len(attrs))
-			var k strings.Builder
 			for i, a := range attrs {
 				proj[i] = e.find(row[a])
-				fmt.Fprintf(&k, "%d|", proj[i])
 			}
-			projSeen[k.String()] = proj
+			projSeen.add(proj)
 		}
 		common := have.Intersect(r.Attrs).Attrs()
-		var next [][]int32
-		nextSeen := make(map[string]bool)
+		next := newVecSet(len(partials))
 		for _, p := range partials {
-			for _, proj := range projSeen {
+			for _, proj := range projSeen.vecs {
 				ok := true
 				for _, a := range common {
-					// position of a within attrs
-					pi := 0
-					for i, aa := range attrs {
-						if aa == a {
-							pi = i
-							break
-						}
-					}
-					if p[a] != proj[pi] {
+					if p[a] != proj[posAt[a]] {
 						ok = false
 						break
 					}
@@ -297,36 +468,29 @@ func (e *Engine) jdPass(s *schema.Schema, caps Caps) (added bool, err error) {
 				for i, a := range attrs {
 					merged[a] = proj[i]
 				}
-				var k strings.Builder
-				for _, v := range merged {
-					fmt.Fprintf(&k, "%d|", v)
-				}
-				if !nextSeen[k.String()] {
-					nextSeen[k.String()] = true
-					next = append(next, merged)
-					if caps.MaxRows > 0 && len(next) > caps.MaxRows {
+				if next.add(merged) {
+					if caps.MaxRows > 0 && len(next.vecs) > caps.MaxRows {
 						return false, ErrBudget
 					}
 				}
 			}
 		}
-		partials = next
+		partials = next.vecs
 		have = have.Union(r.Attrs)
 		if len(partials) == 0 {
 			return false, nil
 		}
 	}
-	existing := make(map[string]bool, len(e.rows))
+	existing := newVecSet(len(e.rows))
 	for _, row := range e.rows {
-		existing[e.resolvedKey(row)] = true
+		resolved := make([]int32, e.width)
+		for c, s := range row {
+			resolved[c] = e.find(s)
+		}
+		existing.add(resolved)
 	}
 	for _, p := range partials {
-		var k strings.Builder
-		for _, v := range p {
-			fmt.Fprintf(&k, "%d|", v)
-		}
-		if !existing[k.String()] {
-			existing[k.String()] = true
+		if existing.add(p) {
 			e.rows = append(e.rows, p)
 			added = true
 			if caps.MaxRows > 0 && len(e.rows) > caps.MaxRows {
@@ -341,10 +505,12 @@ func (e *Engine) jdPass(s *schema.Schema, caps Caps) (added bool, err error) {
 // (appropriate when Σ contains no join dependency, or when every FD is
 // embedded and Lemma 4 applies). It returns nil when the chase terminates
 // without contradiction, the conflict error when the state is unsatisfying,
-// and ErrBudget when caps are exhausted.
+// and ErrBudget when caps are exhausted. Caps.MaxIters counts FD/JD rounds:
+// MaxIters of 1 allows exactly one FD fixpoint plus one JD sweep, returning
+// ErrBudget only if that sweep still grew the relation.
 func (e *Engine) Chase(fds fd.List, s *schema.Schema, caps Caps) error {
 	for iter := 0; ; iter++ {
-		if caps.MaxIters > 0 && iter > caps.MaxIters {
+		if caps.MaxIters > 0 && iter >= caps.MaxIters {
 			return ErrBudget
 		}
 		if err := e.ChaseFDs(fds, caps); err != nil {
@@ -355,9 +521,6 @@ func (e *Engine) Chase(fds fd.List, s *schema.Schema, caps Caps) error {
 		}
 		added, err := e.jdPass(s, caps)
 		if err != nil {
-			if errors.Is(err, ErrBudget) {
-				return err
-			}
 			return err
 		}
 		if !added {

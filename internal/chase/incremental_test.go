@@ -1,0 +1,204 @@
+package chase
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"indep/internal/fd"
+	"indep/internal/relation"
+	"indep/internal/schema"
+)
+
+// referenceFDChase is the seed's FD-rule semantics, kept as the oracle for
+// the worklist engine: sweep every dependency over every row pair, restart
+// on any merge, until a full pass merges nothing. Deliberately quadratic —
+// only tests run it.
+func referenceFDChase(e *Engine, fds fd.List) (failed bool) {
+	specs := buildSpecs(fds)
+	for {
+		merged := false
+		for _, sp := range specs {
+			for i, ri := range e.rows {
+				for _, rj := range e.rows[i+1:] {
+					if !e.lhsAgree(ri, rj, sp.lhs) {
+						continue
+					}
+					for _, a := range sp.rhs {
+						x, y := e.find(ri[a]), e.find(rj[a])
+						if x == y {
+							continue
+						}
+						if _, _, ok := e.union(x, y); !ok {
+							return true
+						}
+						merged = true
+					}
+				}
+			}
+		}
+		if !merged {
+			return false
+		}
+	}
+}
+
+// classesOf captures the partition the chase computed, canonically: for
+// each row, each column's class is named by the first (row, col) slot that
+// class appeared in.
+func classesOf(e *Engine) [][]int32 {
+	name := make(map[int32]int32)
+	out := make([][]int32, len(e.rows))
+	for i, row := range e.rows {
+		out[i] = make([]int32, len(row))
+		for c, s := range row {
+			r := e.find(s)
+			id, ok := name[r]
+			if !ok {
+				id = int32(len(name))
+				name[r] = id
+			}
+			out[i][c] = id
+		}
+	}
+	return out
+}
+
+func randomState(r *rand.Rand, s *schema.Schema, rows, domain int) *relation.State {
+	st := relation.NewState(s)
+	for i := range s.Rels {
+		w := s.Attrs(i).Len()
+		for j := 0; j < rows; j++ {
+			tu := make(relation.Tuple, w)
+			for c := range tu {
+				tu[c] = relation.Value(r.Intn(domain))
+			}
+			st.Insts[i].Add(tu)
+		}
+	}
+	return st
+}
+
+// TestWorklistMatchesReferencePass pins the FD-rule rewrite: on random
+// states, the worklist engine and the seed's sweep-and-restart semantics
+// must fail identically and, when they succeed, compute the same partition
+// of symbols into classes. This is the regression guard for the old
+// fdPass's early-return-after-first-merging-FD behavior — the fixpoint is
+// confluent, so any fair processing order must land in the same place.
+func TestWorklistMatchesReferencePass(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	s := schema.MustParse("AB(A,B); BC(B,C); CA(C,A)")
+	fds := fd.MustParse(s.U, "A -> B; B -> C; C -> A")
+	for trial := 0; trial < 60; trial++ {
+		st := randomState(r, s, 4, 3)
+		work := NewEngine(s.U)
+		work.PadState(st)
+		werr := work.ChaseFDs(fds.Split(), DefaultCaps)
+
+		ref := NewEngine(s.U)
+		ref.PadState(st)
+		rfailed := referenceFDChase(ref, fds.Split())
+
+		if (werr != nil) != rfailed {
+			t.Fatalf("trial %d: worklist err=%v, reference failed=%v\n%s", trial, werr, rfailed, st)
+		}
+		if werr != nil {
+			continue
+		}
+		wc, rc := classesOf(work), classesOf(ref)
+		for i := range wc {
+			for c := range wc[i] {
+				if wc[i][c] != rc[i][c] {
+					t.Fatalf("trial %d: partitions diverge at row %d col %d\n%s", trial, i, c, st)
+				}
+			}
+		}
+	}
+}
+
+// TestChaseFDsIncremental pins the incremental contract: after a fixpoint,
+// padding one more tuple and re-running ChaseFDs must agree — verdict and
+// partition — with a fresh engine chasing the whole state from scratch.
+func TestChaseFDsIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	s := schema.MustParse("CT(C,T); CS(C,S); CHR(C,H,R)")
+	fds := fd.MustParse(s.U, "C -> T; C H -> R").Split()
+	for trial := 0; trial < 40; trial++ {
+		st := randomState(r, s, 3, 4)
+		inc := NewEngine(s.U)
+		inc.PadState(st)
+		if err := inc.ChaseFDs(fds, DefaultCaps); err != nil {
+			continue // base state already contradictory; nothing incremental to test
+		}
+		// Now extend tuple by tuple, comparing against a fresh full chase.
+		for step := 0; step < 12; step++ {
+			scheme := r.Intn(len(s.Rels))
+			attrs := s.Attrs(scheme).Attrs()
+			tu := make(relation.Tuple, len(attrs))
+			for c := range tu {
+				tu[c] = relation.Value(r.Intn(4))
+			}
+			st.Insts[scheme].Add(tu)
+			fresh := NewEngine(s.U)
+			fresh.PadState(st)
+			ferr := fresh.ChaseFDs(fds, DefaultCaps)
+
+			inc.PadTuple(attrs, tu)
+			ierr := inc.ChaseFDs(fds, DefaultCaps)
+			if (ierr != nil) != (ferr != nil) {
+				t.Fatalf("trial %d step %d: incremental err=%v, fresh err=%v", trial, step, ierr, ferr)
+			}
+			if ierr != nil {
+				break // both poisoned; later comparisons are meaningless
+			}
+		}
+	}
+}
+
+// TestMaxItersMeansSweeps pins the Caps fix: a chase whose JD-rule needs to
+// add rows once converges with MaxIters 2 (one growing round, one
+// confirming round) but exhausts a budget of 1, and succeeds untouched
+// when the budget is 0 (unlimited).
+func TestMaxItersMeansSweeps(t *testing.T) {
+	s := schema.MustParse("R1(A,B); R2(B,C)")
+	build := func() *Engine {
+		st := relation.NewState(s)
+		st.Add("R1", relation.Tuple{1, 2})
+		st.Add("R2", relation.Tuple{2, 3})
+		e := NewEngine(s.U)
+		e.PadState(st)
+		return e
+	}
+	if err := build().Chase(nil, s, Caps{MaxIters: 1}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("MaxIters=1 must exhaust after the growing sweep, got %v", err)
+	}
+	if err := build().Chase(nil, s, Caps{MaxIters: 2}); err != nil {
+		t.Fatalf("MaxIters=2 must converge, got %v", err)
+	}
+	if err := build().Chase(nil, s, Caps{}); err != nil {
+		t.Fatalf("unlimited budget must converge, got %v", err)
+	}
+}
+
+// TestChaseFDsAfterFailureSticks pins the poisoned-engine contract relied
+// on by the incremental maintainer: once a chase has failed, further
+// ChaseFDs calls keep returning the conflict instead of silently
+// continuing on a half-merged symbol table.
+func TestChaseFDsAfterFailureSticks(t *testing.T) {
+	s := schema.MustParse("AB(A,B)")
+	fds := fd.MustParse(s.U, "A -> B").Split()
+	st := relation.NewState(s)
+	st.Add("AB", relation.Tuple{1, 2})
+	st.Add("AB", relation.Tuple{1, 3})
+	e := NewEngine(s.U)
+	e.PadState(st)
+	if err := e.ChaseFDs(fds, DefaultCaps); err == nil {
+		t.Fatal("contradictory state must fail")
+	}
+	if !e.Failed || e.Conflict == nil {
+		t.Fatal("failure must be recorded")
+	}
+	if err := e.ChaseFDs(fds, DefaultCaps); err == nil {
+		t.Fatal("a failed engine must keep reporting its conflict")
+	}
+}

@@ -32,6 +32,37 @@ func Satisfies(st *relation.State, fds fd.List, jd bool, caps Caps) (bool, error
 	return true, nil
 }
 
+// Extra is a tuple addressed to a scheme, to be padded on top of a state.
+type Extra struct {
+	Scheme int
+	Tuple  relation.Tuple
+}
+
+// SatisfiesWith is Satisfies for the state p plus the extra tuples, without
+// materializing (or cloning) the combined state: the extras are padded
+// directly into the engine. It is the trial-insert primitive for
+// maintainers that must ask "would p ∪ {t…} still satisfy?" about a state
+// they do not want to copy.
+func SatisfiesWith(st *relation.State, extra []Extra, fds fd.List, jd bool, caps Caps) (bool, error) {
+	e := NewEngine(st.Schema.U)
+	e.PadState(st)
+	for _, x := range extra {
+		e.PadTuple(st.Schema.Attrs(x.Scheme).Attrs(), x.Tuple)
+	}
+	var s *schema.Schema
+	if jd {
+		s = st.Schema
+	}
+	err := e.Chase(fds.Split(), s, caps)
+	if e.Failed {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // WeakInstanceFor runs the chase and, when the state is satisfying, returns
 // the resulting weak instance.
 func WeakInstanceFor(st *relation.State, fds fd.List, jd bool, caps Caps) (*relation.Instance, bool, error) {

@@ -88,3 +88,19 @@ func TestDictMaterialize(t *testing.T) {
 		}
 	}
 }
+
+// Interning an already-known name is a read-locked map hit: the engine's
+// hot path (every tuple value of every insert goes through Value) must not
+// allocate in steady state.
+func TestDictInternSteadyStateAllocs(t *testing.T) {
+	d := NewDict()
+	for i := 0; i < 256; i++ {
+		d.Value(fmt.Sprintf("name-%d", i))
+	}
+	if n := testing.AllocsPerRun(200, func() { d.Value("name-73") }); n != 0 {
+		t.Errorf("re-interning a known name allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { d.Lookup("name-73") }); n != 0 {
+		t.Errorf("Lookup allocates %v per run", n)
+	}
+}

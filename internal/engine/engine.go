@@ -378,31 +378,20 @@ func (e *Engine) batchFast(ops []Op) error {
 
 func (e *Engine) batchChase(ops []Op) error {
 	start := time.Now()
+	extras := make([]chase.Extra, len(ops))
+	for i, op := range ops {
+		extras[i] = chase.Extra{Scheme: op.Scheme, Tuple: op.Tuple}
+	}
 	e.mu.Lock()
-	st := e.chase.State()
-	trial := st.Clone()
-	grew := false
-	for _, op := range ops {
-		if trial.Insts[op.Scheme].Add(op.Tuple) {
-			grew = true
-		}
-	}
-	var err error
-	if grew {
-		ok, cerr := chase.Satisfies(trial, e.fds, e.jd, e.caps)
-		if cerr != nil {
-			err = cerr
-		} else if !ok {
-			err = fmt.Errorf("%w: chase found a contradiction", maintenance.ErrViolation)
-		}
-	}
+	// One trial chase validates the whole batch — no state clone; the
+	// maintainer pads the candidates onto its incremental engine (or, with
+	// a join dependency, onto a fresh padding of the live state).
+	freshExtras, err := e.chase.InsertBatchReport(extras)
 	var added []Op
 	var wait func() error
 	if err == nil {
-		for _, op := range ops {
-			if st.Insts[op.Scheme].Add(op.Tuple) {
-				added = append(added, op)
-			}
+		for _, x := range freshExtras {
+			added = append(added, Op{Scheme: x.Scheme, Tuple: x.Tuple})
 		}
 		if len(added) > 0 {
 			wait = e.commit(Commit{Ops: added})

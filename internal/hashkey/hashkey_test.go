@@ -1,0 +1,54 @@
+package hashkey
+
+import "testing"
+
+func TestDistinguishesOrderAndLength(t *testing.T) {
+	a := Int64s([]int64{1, 2})
+	b := Int64s([]int64{2, 1})
+	c := Int64s([]int64{1, 2, 0})
+	d := Int64s([]int64{1, 2})
+	if a == b {
+		t.Error("order must change the hash")
+	}
+	if a == c {
+		t.Error("a trailing zero must change the hash")
+	}
+	if a != d {
+		t.Error("hashing is not deterministic")
+	}
+	if Int64s([]int64{}) == Int64s([]int64{0}) {
+		t.Error("empty vector must differ from {0}")
+	}
+}
+
+func TestAgreesAcrossWidths(t *testing.T) {
+	// The three entry points must agree on the same logical vector of
+	// non-negative values, so indexes built over different representations
+	// of the same key can interoperate.
+	i64 := Int64s([]int64{3, 7, 11})
+	i32 := Int32s([]int32{3, 7, 11})
+	ii := Ints([]int{3, 7, 11})
+	if i64 != i32 || i64 != ii {
+		t.Fatalf("entry points disagree: %x %x %x", i64, i32, ii)
+	}
+}
+
+func TestFewCollisionsOnDenseGrid(t *testing.T) {
+	seen := make(map[uint64][2]int64)
+	for i := int64(0); i < 300; i++ {
+		for j := int64(0); j < 300; j++ {
+			h := Int64s([]int64{i, j})
+			if prev, ok := seen[h]; ok {
+				t.Fatalf("collision: (%d,%d) vs %v", i, j, prev)
+			}
+			seen[h] = [2]int64{i, j}
+		}
+	}
+}
+
+func TestZeroAllocs(t *testing.T) {
+	vs := []int64{1, 2, 3, 4}
+	if n := testing.AllocsPerRun(100, func() { Int64s(vs) }); n != 0 {
+		t.Fatalf("Int64s allocates %v per run", n)
+	}
+}

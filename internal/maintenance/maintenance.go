@@ -14,7 +14,6 @@ package maintenance
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"indep/internal/chase"
 	"indep/internal/fd"
@@ -48,33 +47,62 @@ type Maintainer interface {
 // schema is independent, so this per-relation check is exactly the
 // maintenance problem. Each FD keeps a hash index from left-hand-side
 // values to the unique right-hand-side values, making inserts O(|F_i|).
+//
+// The indexes are binary: a left-hand side is keyed by the 64-bit hash of
+// its values, and each index entry holds a witness tuple (the instance's
+// own stored copy) whose columns resolve both hash collisions and the
+// right-hand-side comparison — no string keys are built anywhere. Entries
+// live in a per-FD arena with a free list, and per-scheme probe scratch is
+// preallocated, so steady-state inserts, duplicate inserts, rejections,
+// and insert/delete cycles allocate nothing beyond the instance's own
+// stored clone of a freshly admitted tuple.
 type Guard struct {
-	s   *schema.Schema
-	st  *relation.State
-	fds [][]guardFD // per scheme
+	s       *schema.Schema
+	st      *relation.State
+	fds     [][]guardFD // per scheme
+	scratch [][]probe   // per scheme, len == len(fds[scheme]), reused across calls
 }
 
 type guardFD struct {
 	f       fd.FD
 	lhsCols []int
 	rhsCols []int
-	index   map[string]*fdEntry
+	index   map[uint64]int32 // lhs hash → head of entry chain in the arena
+	entries []fdEntry        // arena; slots recycled through free
+	free    []int32
+	errViol error // precomputed: the message depends only on (FD, scheme)
 }
 
-// fdEntry records the unique right-hand-side key seen for a left-hand-side
-// key, with a reference count of the distinct tuples carrying it. Deletes
-// decrement and drop the entry at zero, so a value binding is forgotten as
-// soon as no tuple witnesses it.
+// probe records one FD's lookup during the verify phase so the commit
+// phase can reuse it: the lhs hash and the matched entry (-1 when the lhs
+// was unseen).
+type probe struct {
+	h     uint64
+	entry int32
+}
+
+// fdEntry records one left-hand-side binding: a witness tuple carrying the
+// lhs and rhs values (any tuple with this lhs agrees on the rhs while the
+// FD holds, so even a later-deleted witness stays valid), a reference count
+// of the distinct tuples sharing the binding, and the next entry on the
+// same hash chain (-1 ends it). Deletes decrement and recycle the slot at
+// zero, so a value binding is forgotten as soon as no tuple witnesses it.
 type fdEntry struct {
-	rhs string
-	n   int
+	wit  relation.Tuple
+	n    int32
+	next int32
 }
 
 // NewGuard builds a guard from the schema and the per-scheme embedded cover
 // (the Cover field of an independent analysis result). The state starts
 // empty.
 func NewGuard(s *schema.Schema, cover infer.AssignedList) *Guard {
-	g := &Guard{s: s, st: relation.NewState(s), fds: make([][]guardFD, len(s.Rels))}
+	g := &Guard{
+		s:       s,
+		st:      relation.NewState(s),
+		fds:     make([][]guardFD, len(s.Rels)),
+		scratch: make([][]probe, len(s.Rels)),
+	}
 	for i := range s.Rels {
 		cols := s.Attrs(i).Attrs()
 		at := make(map[int]int, len(cols))
@@ -82,7 +110,7 @@ func NewGuard(s *schema.Schema, cover infer.AssignedList) *Guard {
 			at[a] = j
 		}
 		for _, f := range cover.ForScheme(i) {
-			gf := guardFD{f: f, index: make(map[string]*fdEntry)}
+			gf := guardFD{f: f, index: make(map[uint64]int32)}
 			f.LHS.ForEach(func(attr int) bool {
 				gf.lhsCols = append(gf.lhsCols, at[attr])
 				return true
@@ -92,19 +120,67 @@ func NewGuard(s *schema.Schema, cover infer.AssignedList) *Guard {
 				return true
 			})
 			if len(gf.rhsCols) > 0 {
+				gf.errViol = fmt.Errorf("%w: %s in %s", ErrViolation, f.Format(s.U), s.Name(i))
 				g.fds[i] = append(g.fds[i], gf)
 			}
 		}
+		g.scratch[i] = make([]probe, len(g.fds[i]))
 	}
 	return g
 }
 
-func key(t relation.Tuple, cols []int) string {
-	var b strings.Builder
-	for _, c := range cols {
-		fmt.Fprintf(&b, "%d|", int64(t[c]))
+// lookup walks the hash chain for h and returns the entry whose witness
+// agrees with t on the lhs columns, or -1.
+func (gf *guardFD) lookup(h uint64, t relation.Tuple) int32 {
+	head, ok := gf.index[h]
+	if !ok {
+		return -1
 	}
-	return b.String()
+	for e := head; e >= 0; e = gf.entries[e].next {
+		if relation.AgreeAt(gf.entries[e].wit, t, gf.lhsCols) {
+			return e
+		}
+	}
+	return -1
+}
+
+// insertEntry records a fresh lhs binding witnessed by wit, reusing a free
+// arena slot when one exists.
+func (gf *guardFD) insertEntry(h uint64, wit relation.Tuple) {
+	next := int32(-1)
+	if head, ok := gf.index[h]; ok {
+		next = head
+	}
+	var slot int32
+	if n := len(gf.free); n > 0 {
+		slot = gf.free[n-1]
+		gf.free = gf.free[:n-1]
+		gf.entries[slot] = fdEntry{wit: wit, n: 1, next: next}
+	} else {
+		slot = int32(len(gf.entries))
+		gf.entries = append(gf.entries, fdEntry{wit: wit, n: 1, next: next})
+	}
+	gf.index[h] = slot
+}
+
+// removeEntry unlinks entry e from the chain for h and recycles its slot.
+func (gf *guardFD) removeEntry(h uint64, e int32) {
+	if gf.index[h] == e {
+		if next := gf.entries[e].next; next >= 0 {
+			gf.index[h] = next
+		} else {
+			delete(gf.index, h)
+		}
+	} else {
+		for p := gf.index[h]; ; p = gf.entries[p].next {
+			if gf.entries[p].next == e {
+				gf.entries[p].next = gf.entries[e].next
+				break
+			}
+		}
+	}
+	gf.entries[e] = fdEntry{next: -1}
+	gf.free = append(gf.free, e)
 }
 
 // Insert implements Maintainer. It is O(|F_i|) expected time per call.
@@ -122,24 +198,31 @@ func (g *Guard) InsertReport(scheme int, t relation.Tuple) (bool, error) {
 	}
 	fds := g.fds[scheme]
 	// First verify all FDs, then commit; a half-committed index would
-	// otherwise corrupt later checks.
-	keys := make([][2]string, len(fds))
-	for j, gf := range fds {
-		lk, rk := key(t, gf.lhsCols), key(t, gf.rhsCols)
-		if prev, ok := gf.index[lk]; ok && prev.rhs != rk {
-			return false, fmt.Errorf("%w: %s in %s", ErrViolation,
-				gf.f.Format(g.s.U), g.s.Name(scheme))
+	// otherwise corrupt later checks. Probes are remembered in the scheme's
+	// scratch so commit re-walks no chains.
+	probes := g.scratch[scheme]
+	for j := range fds {
+		gf := &fds[j]
+		h := relation.HashCols(t, gf.lhsCols)
+		e := gf.lookup(h, t)
+		if e >= 0 && !relation.AgreeAt(gf.entries[e].wit, t, gf.rhsCols) {
+			return false, gf.errViol
 		}
-		keys[j] = [2]string{lk, rk}
+		probes[j] = probe{h: h, entry: e}
 	}
 	if !g.st.Insts[scheme].Add(t) {
 		return false, nil // duplicate tuple: state and indexes unchanged
 	}
-	for j, gf := range fds {
-		if e, ok := gf.index[keys[j][0]]; ok {
-			e.n++
+	// The instance's stored clone outlives the caller's tuple; new entries
+	// witness through it so the guard owns no second copy.
+	inst := g.st.Insts[scheme]
+	stored := inst.Tuples[inst.Len()-1]
+	for j := range fds {
+		gf := &fds[j]
+		if e := probes[j].entry; e >= 0 {
+			gf.entries[e].n++
 		} else {
-			gf.index[keys[j][0]] = &fdEntry{rhs: keys[j][1], n: 1}
+			gf.insertEntry(probes[j].h, stored)
 		}
 	}
 	return true, nil
@@ -155,11 +238,13 @@ func (g *Guard) Delete(scheme int, t relation.Tuple) (bool, error) {
 	if !g.st.Insts[scheme].Remove(t) {
 		return false, nil
 	}
-	for _, gf := range g.fds[scheme] {
-		lk := key(t, gf.lhsCols)
-		if e, ok := gf.index[lk]; ok {
-			if e.n--; e.n == 0 {
-				delete(gf.index, lk)
+	fds := g.fds[scheme]
+	for j := range fds {
+		gf := &fds[j]
+		h := relation.HashCols(t, gf.lhsCols)
+		if e := gf.lookup(h, t); e >= 0 {
+			if gf.entries[e].n--; gf.entries[e].n == 0 {
+				gf.removeEntry(h, e)
 			}
 		}
 	}
@@ -169,29 +254,87 @@ func (g *Guard) Delete(scheme int, t relation.Tuple) (bool, error) {
 // State implements Maintainer.
 func (g *Guard) State() *relation.State { return g.st }
 
-// ChaseMaintainer is the general maintainer: on every insert it re-chases
-// the whole state under F ∪ {*D}. Sound for any schema, but each insert
-// costs a full chase — exponential in the worst case (Theorem 1 says this
-// is unavoidable in general).
+// ChaseMaintainer is the general maintainer: every insert is admitted only
+// if the chase of the new state under F ∪ {*D} finds no contradiction.
+// Sound for any schema, but exponential in the worst case (Theorem 1 says
+// this is unavoidable in general).
+//
+// Without a join dependency (jd=false, the FD-only chase Lemma 4 licenses
+// whenever every FD is embedded), the maintainer is incremental: it keeps
+// one chase engine padded with the whole state and chased to fixpoint, and
+// a trial insert pads just the candidate tuple and chases its consequences
+// — no state clone, no re-chase of old rows. A rejected trial poisons the
+// engine (symbol merges cannot be undone), so it is lazily rebuilt from the
+// unchanged state before the next trial; deletions poison it the same way.
+// Accepting workloads therefore pay O(consequences) per insert and rebuild
+// never.
+//
+// With a join dependency the JD-rule's row growth defeats incremental
+// reuse, so each insert re-chases — but still without cloning the state:
+// the candidate is padded on top of it (chase.SatisfiesWith).
 type ChaseMaintainer struct {
 	s    *schema.Schema
 	fds  fd.List
+	sfds fd.List // fds.Split(), the form the engine consumes
 	st   *relation.State
 	jd   bool
 	caps chase.Caps
+
+	eng   *chase.Engine // persistent incremental engine (jd=false only)
+	stale bool          // eng no longer mirrors st and must be rebuilt
 }
 
 // NewChaseMaintainer builds a chase-based maintainer with an empty state.
 // Pass jd=false when every FD is embedded (Lemma 4 makes the join
 // dependency irrelevant, and the FD-only chase is polynomial).
 func NewChaseMaintainer(s *schema.Schema, fds fd.List, jd bool, caps chase.Caps) *ChaseMaintainer {
-	return &ChaseMaintainer{s: s, fds: fds, st: relation.NewState(s), jd: jd, caps: caps}
+	return &ChaseMaintainer{
+		s: s, fds: fds, sfds: fds.Split(), st: relation.NewState(s), jd: jd, caps: caps,
+	}
 }
 
 // Insert implements Maintainer by trial insertion and a full chase.
 func (m *ChaseMaintainer) Insert(scheme int, t relation.Tuple) error {
 	_, err := m.InsertReport(scheme, t)
 	return err
+}
+
+// engine returns the incremental engine, rebuilding it from the state when
+// absent or poisoned. A maintained state always satisfies the FDs, so the
+// rebuild chase cannot fail; a failure would mean corruption and is
+// reported.
+func (m *ChaseMaintainer) engine() (*chase.Engine, error) {
+	if m.eng != nil && !m.stale {
+		return m.eng, nil
+	}
+	e := chase.NewEngine(m.s.U)
+	e.PadState(m.st)
+	if err := e.ChaseFDs(m.sfds, m.caps); err != nil {
+		return nil, fmt.Errorf("maintenance: maintained state fails its own chase: %w", err)
+	}
+	m.eng, m.stale = e, false
+	return e, nil
+}
+
+// tryInsert pads the candidate tuples into the incremental engine and
+// chases their consequences. On contradiction the engine is poisoned and a
+// violation returned; the state itself is never touched.
+func (m *ChaseMaintainer) tryInsert(ops []chase.Extra) error {
+	e, err := m.engine()
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		e.PadTuple(m.s.Attrs(op.Scheme).Attrs(), op.Tuple)
+	}
+	if err := e.ChaseFDs(m.sfds, m.caps); err != nil {
+		m.stale = true
+		if e.Failed {
+			return fmt.Errorf("%w: chase found a contradiction", ErrViolation)
+		}
+		return err
+	}
+	return nil
 }
 
 // InsertReport is Insert, additionally reporting whether the tuple was
@@ -204,26 +347,90 @@ func (m *ChaseMaintainer) InsertReport(scheme int, t relation.Tuple) (bool, erro
 	if m.st.Insts[scheme].Has(t) {
 		return false, nil
 	}
-	trial := m.st.Clone()
-	trial.Insts[scheme].Add(t)
-	ok, err := chase.Satisfies(trial, m.fds, m.jd, m.caps)
-	if err != nil {
+	if m.jd {
+		ok, err := chase.SatisfiesWith(m.st, []chase.Extra{{Scheme: scheme, Tuple: t}},
+			m.fds, true, m.caps)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, fmt.Errorf("%w: chase found a contradiction", ErrViolation)
+		}
+	} else if err := m.tryInsert([]chase.Extra{{Scheme: scheme, Tuple: t}}); err != nil {
 		return false, err
-	}
-	if !ok {
-		return false, fmt.Errorf("%w: chase found a contradiction", ErrViolation)
 	}
 	m.st.Insts[scheme].Add(t)
 	return true, nil
 }
 
+// InsertBatchReport trial-inserts a batch atomically: either every tuple is
+// admissible together and all are added, or the state is left unchanged and
+// the violation (or budget error) is returned. Added reports the ops that
+// actually changed the state, in op order (duplicates are skipped). One
+// chase validates the whole batch.
+func (m *ChaseMaintainer) InsertBatchReport(ops []chase.Extra) (added []chase.Extra, err error) {
+	for _, op := range ops {
+		if op.Scheme < 0 || op.Scheme >= len(m.st.Insts) {
+			return nil, fmt.Errorf("maintenance: no scheme %d", op.Scheme)
+		}
+	}
+	// Materialize the incremental engine from the pre-batch state before
+	// touching it: a lazy rebuild below would otherwise pad the candidate
+	// tuples as settled fact and misread the batch's own violation as
+	// state corruption.
+	if !m.jd {
+		if _, err := m.engine(); err != nil {
+			return nil, err
+		}
+	}
+	fresh := make([]chase.Extra, 0, len(ops))
+	for _, op := range ops {
+		// Add now so in-batch duplicates collapse; roll back below unless
+		// the whole batch chases clean.
+		if m.st.Insts[op.Scheme].Add(op.Tuple) {
+			fresh = append(fresh, op)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil, nil
+	}
+	rollback := func() {
+		for i := len(fresh) - 1; i >= 0; i-- {
+			m.st.Insts[fresh[i].Scheme].Remove(fresh[i].Tuple)
+		}
+	}
+	if m.jd {
+		ok, serr := chase.Satisfies(m.st, m.fds, true, m.caps)
+		if serr != nil {
+			rollback()
+			return nil, serr
+		}
+		if !ok {
+			rollback()
+			return nil, fmt.Errorf("%w: chase found a contradiction", ErrViolation)
+		}
+		return fresh, nil
+	}
+	if err := m.tryInsert(fresh); err != nil {
+		rollback()
+		return nil, err
+	}
+	return fresh, nil
+}
+
 // Delete implements Maintainer. No chase is needed: SAT is closed under
-// subsets, so removing a tuple can never break satisfaction.
+// subsets, so removing a tuple can never break satisfaction. The
+// incremental engine cannot un-merge the removed tuple's consequences, so
+// it is rebuilt before the next trial insert.
 func (m *ChaseMaintainer) Delete(scheme int, t relation.Tuple) (bool, error) {
 	if scheme < 0 || scheme >= len(m.st.Insts) {
 		return false, fmt.Errorf("maintenance: no scheme %d", scheme)
 	}
-	return m.st.Insts[scheme].Remove(t), nil
+	removed := m.st.Insts[scheme].Remove(t)
+	if removed {
+		m.stale = true
+	}
+	return removed, nil
 }
 
 // State implements Maintainer.

@@ -237,14 +237,22 @@ func (ev *Evaluator) Window(st *relation.State, x attrset.Set) (*Result, error) 
 // evalFast is the independent-schema window: the union over relevant
 // relations of the X-total extensions of their tuples (Theorem 5). When X
 // is embedded in the scheme the extension's X-projection is the tuple
-// itself, so the contribution collapses to the plain projection.
+// itself, so the contribution collapses to a projection — computed directly
+// into the output, with one reused scratch tuple probing for duplicates
+// before anything is cloned.
 func evalFast(p *Plan, st *relation.State) *relation.Instance {
 	out := relation.NewInstance(p.X)
 	cols := p.X.Attrs()
+	proj := make(relation.Tuple, len(cols))
 	for i, l := range p.Schemes {
 		if p.local[i] {
-			for _, t := range st.Insts[l].Project(p.X).Tuples {
-				out.Add(t)
+			inst := st.Insts[l]
+			colPos := relation.ProjectionCols(inst.Attrs, p.X)
+			for _, t := range inst.Tuples {
+				for j, c := range colPos {
+					proj[j] = t[c]
+				}
+				out.Add(proj)
 			}
 			continue
 		}
@@ -254,7 +262,6 @@ func evalFast(p *Plan, st *relation.State) *relation.Instance {
 			if !p.X.SubsetOf(determined) {
 				continue
 			}
-			proj := make(relation.Tuple, len(cols))
 			for j, a := range cols {
 				proj[j] = ext[a]
 			}

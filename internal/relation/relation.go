@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"indep/internal/attrset"
+	"indep/internal/hashkey"
 	"indep/internal/schema"
 )
 
@@ -99,13 +100,45 @@ func (d *Dict) Each(f func(v Value, name string)) {
 // attribute index of the owning instance's scheme.
 type Tuple []Value
 
-// key encodes a tuple for dedup/set membership.
-func (t Tuple) key() string {
-	var b strings.Builder
-	for _, v := range t {
-		fmt.Fprintf(&b, "%d|", int64(v))
+// hash is the tuple's 64-bit content key. Indexes bucket by it and resolve
+// collisions by comparing values, so dedup never allocates a string key.
+func (t Tuple) hash() uint64 { return hashkey.Int64s(t) }
+
+// Equal reports value equality of two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
 	}
-	return b.String()
+	for i, v := range t {
+		if v != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HashCols hashes the tuple's values at the given column positions with
+// the same fold as the full-tuple hash, so any index layer keyed over a
+// column subset (the instance's own secondary indexes, the maintenance
+// guard's FD indexes) stays fold-compatible with the relation layer.
+func HashCols(t Tuple, cols []int) uint64 {
+	h := hashkey.Init
+	for _, c := range cols {
+		h = hashkey.Mix(h, uint64(t[c]))
+	}
+	return h
+}
+
+// AgreeAt reports whether two tuples of the same scheme carry equal values
+// at the given column positions — the verification step for any bucket
+// keyed by HashCols.
+func AgreeAt(a, b Tuple, cols []int) bool {
+	for _, c := range cols {
+		if a[c] != b[c] {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone copies the tuple.
@@ -116,10 +149,17 @@ func (t Tuple) Clone() Tuple {
 }
 
 // Instance is a set of tuples over a relation scheme.
+//
+// The primary index buckets tuples by their 64-bit content hash: pos holds
+// the first position seen for a hash, over the (rare) extra positions when
+// distinct tuples collide. Membership probes hash the tuple and compare
+// values — no string key is ever built, so Has and duplicate Adds are
+// allocation-free.
 type Instance struct {
 	Attrs  attrset.Set
 	Tuples []Tuple
-	index  map[string]int // tuple key → position in Tuples
+	pos    map[uint64]int32   // tuple hash → first position in Tuples
+	over   map[uint64][]int32 // additional positions on hash collision
 
 	// secondary holds lazily built hash indexes over column subsets,
 	// keyed by the column-position list (see MatchingTuples). Guarded by
@@ -127,12 +167,12 @@ type Instance struct {
 	// dropped on every mutation, so it only persists — and amortizes — on
 	// immutable instances such as engine snapshots.
 	secMu     sync.RWMutex
-	secondary map[string]map[string][]Tuple
+	secondary map[uint64][]*colIndex
 }
 
 // NewInstance creates an empty instance over the given scheme.
 func NewInstance(attrs attrset.Set) *Instance {
-	return &Instance{Attrs: attrs, index: make(map[string]int)}
+	return &Instance{Attrs: attrs, pos: make(map[uint64]int32)}
 }
 
 // Len returns the number of tuples.
@@ -141,14 +181,88 @@ func (in *Instance) Len() int { return len(in.Tuples) }
 // Width returns the arity of the instance.
 func (in *Instance) Width() int { return in.Attrs.Len() }
 
-// reindex (re)builds the key index; callers may have constructed the
+// reindex (re)builds the hash index; callers may have constructed the
 // instance literally with a nil index.
 func (in *Instance) reindex() {
-	if in.index == nil {
-		in.index = make(map[string]int, len(in.Tuples))
+	if in.pos == nil {
+		in.pos = make(map[uint64]int32, len(in.Tuples))
 		for i, u := range in.Tuples {
-			in.index[u.key()] = i
+			in.indexAdd(u.hash(), int32(i))
 		}
+	}
+}
+
+// find returns the position of t, or -1. Callers have run reindex.
+func (in *Instance) find(t Tuple) int32 {
+	h := t.hash()
+	p, ok := in.pos[h]
+	if !ok {
+		return -1
+	}
+	if in.Tuples[p].Equal(t) {
+		return p
+	}
+	for _, q := range in.over[h] {
+		if in.Tuples[q].Equal(t) {
+			return q
+		}
+	}
+	return -1
+}
+
+// indexAdd records position i for a tuple hashing to h.
+func (in *Instance) indexAdd(h uint64, i int32) {
+	if _, ok := in.pos[h]; !ok {
+		in.pos[h] = i
+		return
+	}
+	if in.over == nil {
+		in.over = make(map[uint64][]int32)
+	}
+	in.over[h] = append(in.over[h], i)
+}
+
+// indexRemove forgets position i for a tuple hashing to h.
+func (in *Instance) indexRemove(h uint64, i int32) {
+	if in.pos[h] == i {
+		if ov := in.over[h]; len(ov) > 0 {
+			in.pos[h] = ov[len(ov)-1]
+			in.shrinkOver(h, len(ov)-1)
+		} else {
+			delete(in.pos, h)
+		}
+		return
+	}
+	for j, q := range in.over[h] {
+		if q == i {
+			ov := in.over[h]
+			ov[j] = ov[len(ov)-1]
+			in.shrinkOver(h, len(ov)-1)
+			return
+		}
+	}
+}
+
+// indexMove rewrites position from → to for a tuple hashing to h (the
+// swap-with-last step of Remove).
+func (in *Instance) indexMove(h uint64, from, to int32) {
+	if in.pos[h] == from {
+		in.pos[h] = to
+		return
+	}
+	for j, q := range in.over[h] {
+		if q == from {
+			in.over[h][j] = to
+			return
+		}
+	}
+}
+
+func (in *Instance) shrinkOver(h uint64, n int) {
+	if n == 0 {
+		delete(in.over, h)
+	} else {
+		in.over[h] = in.over[h][:n]
 	}
 }
 
@@ -163,63 +277,117 @@ func (in *Instance) invalidateSecondary() {
 	in.secMu.Unlock()
 }
 
+// colIndex is a lazily built hash index of the instance's tuples over one
+// column subset: buckets maps the hash of a tuple's values at cols to the
+// tuples carrying them. Distinct value vectors can share a bucket (64-bit
+// hash collisions), so probes verify the values before trusting a bucket.
+type colIndex struct {
+	cols    []int
+	buckets map[uint64][]Tuple
+}
+
+// matchesAt reports whether t agrees with want on the column positions.
+func matchesAt(t Tuple, cols []int, want []Value) bool {
+	for i, c := range cols {
+		if t[c] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // MatchingTuples returns the tuples agreeing with want on the given column
 // positions (in the instance's column order). With no columns it returns
 // every tuple. The first probe for a column set builds a hash index over it
-// (O(n)); later probes are O(1) plus the match count. Indexes are dropped
-// on mutation, so the amortization pays off on immutable instances — which
-// is exactly what the window-query evaluator probes: its per-tuple
-// extension joins against an engine snapshot would otherwise rescan the
-// joined relation for every tuple. Safe for concurrent use by readers.
+// (O(n)); later probes are O(1) plus the match count and allocation-free
+// unless a hash collision forces a filtered copy. Indexes are dropped on
+// mutation, so the amortization pays off on immutable instances — which is
+// exactly what the window-query evaluator probes: its per-tuple extension
+// joins against an engine snapshot would otherwise rescan the joined
+// relation for every tuple. Safe for concurrent use by readers.
 func (in *Instance) MatchingTuples(cols []int, want []Value) []Tuple {
 	if len(cols) == 0 {
 		return in.Tuples
 	}
-	var ck strings.Builder
-	for _, c := range cols {
-		fmt.Fprintf(&ck, "%d|", c)
-	}
+	ck := hashkey.Ints(cols)
+	var idx *colIndex
 	in.secMu.RLock()
-	idx, ok := in.secondary[ck.String()]
+	for _, ci := range in.secondary[ck] {
+		if intsEqual(ci.cols, cols) {
+			idx = ci
+			break
+		}
+	}
 	in.secMu.RUnlock()
-	if !ok {
+	if idx == nil {
 		in.secMu.Lock()
 		if in.secondary == nil {
-			in.secondary = make(map[string]map[string][]Tuple)
+			in.secondary = make(map[uint64][]*colIndex)
 		}
-		if idx, ok = in.secondary[ck.String()]; !ok { // raced with another builder
-			idx = make(map[string][]Tuple, len(in.Tuples))
-			for _, t := range in.Tuples {
-				var vk strings.Builder
-				for _, c := range cols {
-					fmt.Fprintf(&vk, "%d|", int64(t[c]))
-				}
-				idx[vk.String()] = append(idx[vk.String()], t)
+		for _, ci := range in.secondary[ck] { // raced with another builder
+			if intsEqual(ci.cols, cols) {
+				idx = ci
+				break
 			}
-			in.secondary[ck.String()] = idx
+		}
+		if idx == nil {
+			idx = &colIndex{
+				cols:    append([]int(nil), cols...),
+				buckets: make(map[uint64][]Tuple, len(in.Tuples)),
+			}
+			for _, t := range in.Tuples {
+				h := HashCols(t, cols)
+				idx.buckets[h] = append(idx.buckets[h], t)
+			}
+			in.secondary[ck] = append(in.secondary[ck], idx)
 		}
 		in.secMu.Unlock()
 	}
-	var vk strings.Builder
-	for _, v := range want {
-		fmt.Fprintf(&vk, "%d|", int64(v))
+	cands := idx.buckets[hashkey.Int64s(want)]
+	n := 0
+	for _, t := range cands {
+		if matchesAt(t, cols, want) {
+			n++
+		}
 	}
-	return idx[vk.String()]
+	if n == len(cands) {
+		return cands
+	}
+	out := make([]Tuple, 0, n)
+	for _, t := range cands {
+		if matchesAt(t, cols, want) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Add inserts a tuple (deduplicating). It panics if the arity is wrong,
-// since that is always a programming error.
+// since that is always a programming error. Duplicate adds are
+// allocation-free; a fresh add allocates only the stored clone (plus
+// amortized table growth).
 func (in *Instance) Add(t Tuple) bool {
 	if len(t) != in.Width() {
 		panic(fmt.Sprintf("relation: tuple arity %d does not match scheme arity %d", len(t), in.Width()))
 	}
 	in.reindex()
-	k := t.key()
-	if _, ok := in.index[k]; ok {
+	if in.find(t) >= 0 {
 		return false
 	}
 	in.invalidateSecondary()
-	in.index[k] = len(in.Tuples)
+	in.indexAdd(t.hash(), int32(len(in.Tuples)))
 	in.Tuples = append(in.Tuples, t.Clone())
 	return true
 }
@@ -229,28 +397,27 @@ func (in *Instance) Add(t Tuple) bool {
 // removals.
 func (in *Instance) Remove(t Tuple) bool {
 	in.reindex()
-	k := t.key()
-	pos, ok := in.index[k]
-	if !ok {
+	pos := in.find(t)
+	if pos < 0 {
 		return false
 	}
 	in.invalidateSecondary()
-	last := len(in.Tuples) - 1
+	in.indexRemove(t.hash(), pos)
+	last := int32(len(in.Tuples) - 1)
 	if pos != last {
-		in.Tuples[pos] = in.Tuples[last]
-		in.index[in.Tuples[pos].key()] = pos
+		moved := in.Tuples[last]
+		in.Tuples[pos] = moved
+		in.indexMove(moved.hash(), last, pos)
 	}
 	in.Tuples[last] = nil
 	in.Tuples = in.Tuples[:last]
-	delete(in.index, k)
 	return true
 }
 
-// Has reports whether the tuple is present.
+// Has reports whether the tuple is present. It never allocates.
 func (in *Instance) Has(t Tuple) bool {
 	in.reindex()
-	_, ok := in.index[t.key()]
-	return ok
+	return in.find(t) >= 0
 }
 
 // Clone deep-copies the instance.
@@ -262,9 +429,11 @@ func (in *Instance) Clone() *Instance {
 	return out
 }
 
-// pos returns, for each attribute of sub (ascending), its column position
-// within the scheme attrs (ascending order).
-func pos(attrs, sub attrset.Set) []int {
+// ProjectionCols returns, for each attribute of sub (ascending), its
+// column position within the scheme attrs (ascending order) — the shared
+// projection/join column map; the query layer uses it too, so projection
+// semantics cannot diverge between layers.
+func ProjectionCols(attrs, sub attrset.Set) []int {
 	cols := attrs.Attrs()
 	colAt := make(map[int]int, len(cols))
 	for i, a := range cols {
@@ -283,7 +452,7 @@ func (in *Instance) Project(sub attrset.Set) *Instance {
 	if !sub.SubsetOf(in.Attrs) {
 		panic("relation: projection target not a subset of the scheme")
 	}
-	cols := pos(in.Attrs, sub)
+	cols := ProjectionCols(in.Attrs, sub)
 	out := NewInstance(sub)
 	for _, t := range in.Tuples {
 		p := make(Tuple, len(cols))
@@ -295,19 +464,30 @@ func (in *Instance) Project(sub attrset.Set) *Instance {
 	return out
 }
 
+// agreeOn reports whether ta and tb carry the same values at the paired
+// column positions — the natural-join condition itself, so hash buckets
+// verified with it can never admit a false match.
+func agreeOn(ta Tuple, aCols []int, tb Tuple, bCols []int) bool {
+	for i, c := range aCols {
+		if ta[c] != tb[bCols[i]] {
+			return false
+		}
+	}
+	return true
+}
+
 // Join returns the natural join of two instances.
 func Join(a, b *Instance) *Instance {
 	common := a.Attrs.Intersect(b.Attrs)
-	aCols := pos(a.Attrs, common)
-	bCols := pos(b.Attrs, common)
-	// Index b by its common-attribute key.
-	byKey := make(map[string][]Tuple)
+	aCols := ProjectionCols(a.Attrs, common)
+	bCols := ProjectionCols(b.Attrs, common)
+	// Bucket b by the hash of its common-attribute values; probes verify
+	// the join condition directly, so collisions cost a comparison, never
+	// a wrong row.
+	byKey := make(map[uint64][]Tuple, len(b.Tuples))
 	for _, t := range b.Tuples {
-		var k strings.Builder
-		for _, c := range bCols {
-			fmt.Fprintf(&k, "%d|", int64(t[c]))
-		}
-		byKey[k.String()] = append(byKey[k.String()], t)
+		h := HashCols(t, bCols)
+		byKey[h] = append(byKey[h], t)
 	}
 	outAttrs := a.Attrs.Union(b.Attrs)
 	out := NewInstance(outAttrs)
@@ -321,11 +501,10 @@ func Join(a, b *Instance) *Instance {
 		bIdx[at] = i
 	}
 	for _, ta := range a.Tuples {
-		var k strings.Builder
-		for _, c := range aCols {
-			fmt.Fprintf(&k, "%d|", int64(ta[c]))
-		}
-		for _, tb := range byKey[k.String()] {
+		for _, tb := range byKey[HashCols(ta, aCols)] {
+			if !agreeOn(ta, aCols, tb, bCols) {
+				continue
+			}
 			joined := make(Tuple, len(outCols))
 			for i, at := range outCols {
 				if j, ok := aIdx[at]; ok {
@@ -343,24 +522,20 @@ func Join(a, b *Instance) *Instance {
 // Semijoin returns the tuples of a that join with some tuple of b.
 func Semijoin(a, b *Instance) *Instance {
 	common := a.Attrs.Intersect(b.Attrs)
-	bKeys := make(map[string]bool)
-	bCols := pos(b.Attrs, common)
+	bCols := ProjectionCols(b.Attrs, common)
+	bKeys := make(map[uint64][]Tuple, len(b.Tuples))
 	for _, t := range b.Tuples {
-		var k strings.Builder
-		for _, c := range bCols {
-			fmt.Fprintf(&k, "%d|", int64(t[c]))
-		}
-		bKeys[k.String()] = true
+		h := HashCols(t, bCols)
+		bKeys[h] = append(bKeys[h], t)
 	}
-	aCols := pos(a.Attrs, common)
+	aCols := ProjectionCols(a.Attrs, common)
 	out := NewInstance(a.Attrs)
 	for _, t := range a.Tuples {
-		var k strings.Builder
-		for _, c := range aCols {
-			fmt.Fprintf(&k, "%d|", int64(t[c]))
-		}
-		if bKeys[k.String()] {
-			out.Add(t)
+		for _, tb := range bKeys[HashCols(t, aCols)] {
+			if agreeOn(t, aCols, tb, bCols) {
+				out.Add(t)
+				break
+			}
 		}
 	}
 	return out
