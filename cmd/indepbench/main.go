@@ -42,7 +42,6 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +51,7 @@ import (
 	"indep/internal/attrset"
 	"indep/internal/experiments"
 	"indep/internal/fd"
+	"indep/internal/obs"
 	"indep/internal/schema"
 	"indep/internal/workload"
 )
@@ -179,6 +179,28 @@ type benchReport struct {
 	AllocsPerOp float64 `json:"allocsPerOp"`
 	BytesPerOp  float64 `json:"bytesPerOp"`
 	ElapsedNs   int64   `json:"elapsedNs"`
+	// WriteBatchLat/ReadLat are log2-bucketed histogram quantiles (the
+	// same obs.Histogram the store's telemetry uses), per InsertBatch call
+	// and per window query respectively.
+	WriteBatchLat *latQuantiles `json:"writeBatchLatencyNs,omitempty"`
+	ReadLat       *latQuantiles `json:"readLatencyNs,omitempty"`
+}
+
+// latQuantiles renders a latency histogram snapshot for the JSON report.
+type latQuantiles struct {
+	Count  uint64 `json:"count"`
+	P50Ns  int64  `json:"p50Ns"`
+	P90Ns  int64  `json:"p90Ns"`
+	P99Ns  int64  `json:"p99Ns"`
+	P999Ns int64  `json:"p999Ns"`
+}
+
+func latFromSnapshot(s obs.HistSnapshot) *latQuantiles {
+	if s.Count == 0 {
+		return nil
+	}
+	p50, p90, p99, p999 := s.Quantiles()
+	return &latQuantiles{Count: s.Count, P50Ns: p50, P90Ns: p90, P99Ns: p99, P999Ns: p999}
 }
 
 func emitJSON(r benchReport) error {
@@ -316,6 +338,7 @@ func runEngine(cfg engineConfig) error {
 		starts[w+1] = starts[w] + count
 	}
 	errs := make(chan error, cfg.workers)
+	var writeLat obs.Histogram
 	probe := startMemProbe()
 	start := time.Now()
 	for w := 0; w < cfg.workers; w++ {
@@ -334,10 +357,12 @@ func runEngine(cfg engineConfig) error {
 					}
 					ops[j] = indep.BatchOp{Rel: rel, Row: row}
 				}
+				bs := time.Now()
 				if err := store.InsertBatch(ops); err != nil {
 					errs <- err
 					return
 				}
+				writeLat.ObserveSince(bs)
 			}
 			errs <- nil
 		}(w)
@@ -361,12 +386,18 @@ func runEngine(cfg engineConfig) error {
 				float64(max(total, 1)),
 			MeasuredOps: int64(total),
 			AllocsPerOp: allocsPerOp, BytesPerOp: bytesPerOp,
-			ElapsedNs: elapsed.Nanoseconds(),
+			ElapsedNs:     elapsed.Nanoseconds(),
+			WriteBatchLat: latFromSnapshot(writeLat.Snapshot()),
 		})
 	}
 	fmt.Printf("inserted %d tuples in %v (%.0f tuples/s) batch=%d workers=%d rows=%d (%.1f allocs/op, %.0f B/op)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(),
 		cfg.batch, cfg.workers, store.Rows(), allocsPerOp, bytesPerOp)
+	if bl := latFromSnapshot(writeLat.Snapshot()); bl != nil {
+		fmt.Printf("batch latency: p50=%v p90=%v p99=%v p999=%v (%d batches)\n",
+			time.Duration(bl.P50Ns), time.Duration(bl.P90Ns),
+			time.Duration(bl.P99Ns), time.Duration(bl.P999Ns), bl.Count)
+	}
 
 	fmt.Printf("%-10s %10s %10s %10s %12s %12s\n", "relation", "tuples", "inserts", "rejects", "p50", "p99")
 	for _, st := range store.Stats() {
@@ -494,7 +525,10 @@ func runQuery(cfg engineConfig) error {
 		}(w)
 	}
 
-	lats := make([][]time.Duration, cfg.readers)
+	// Read latency goes through the same log2-bucketed histogram the
+	// store's telemetry uses, so the report's quantiles are directly
+	// comparable with a /metrics scrape of a production daemon.
+	var readLat obs.Histogram
 	for r := 0; r < cfg.readers; r++ {
 		wg.Add(1)
 		go func(r int) {
@@ -506,7 +540,7 @@ func runQuery(cfg engineConfig) error {
 					fail(err)
 					return
 				}
-				lats[r] = append(lats[r], time.Since(qs))
+				readLat.ObserveSince(qs)
 			}
 		}(r)
 	}
@@ -523,18 +557,10 @@ func runQuery(cfg engineConfig) error {
 		}
 	}
 
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		if len(all) == 0 {
-			return 0
-		}
-		return all[int(p*float64(len(all)-1))]
-	}
-	allocsPerOp, bytesPerOp := probe.perOp(wrote.Load() + int64(len(all)))
+	rs := readLat.Snapshot()
+	reads := int64(rs.Count)
+	p50, p90, p99, p999 := rs.Quantiles()
+	allocsPerOp, bytesPerOp := probe.perOp(wrote.Load() + reads)
 	if cfg.jsonOut {
 		w := wrote.Load()
 		return emitJSON(benchReport{
@@ -543,20 +569,22 @@ func runQuery(cfg engineConfig) error {
 			Workers: cfg.workers, Batch: cfg.batch, Readers: cfg.readers,
 			WriteTuples: w,
 			WriteTPS:    float64(w) / elapsed.Seconds(),
-			ReadQueries: int64(len(all)),
-			ReadQPS:     float64(len(all)) / elapsed.Seconds(),
-			ReadP50Ns:   pct(0.50).Nanoseconds(),
-			ReadP99Ns:   pct(0.99).Nanoseconds(),
-			MeasuredOps: w + int64(len(all)),
+			ReadQueries: reads,
+			ReadQPS:     float64(reads) / elapsed.Seconds(),
+			ReadP50Ns:   p50,
+			ReadP99Ns:   p99,
+			MeasuredOps: w + reads,
 			AllocsPerOp: allocsPerOp, BytesPerOp: bytesPerOp,
 			ElapsedNs: elapsed.Nanoseconds(),
+			ReadLat:   latFromSnapshot(rs),
 		})
 	}
 	fmt.Printf("writes: %d tuples in %v (%.0f tuples/s)\n",
 		wrote.Load(), elapsed.Round(time.Millisecond),
 		float64(wrote.Load())/elapsed.Seconds())
-	fmt.Printf("reads:  %d window queries (%.0f queries/s) p50=%v p99=%v\n",
-		len(all), float64(len(all))/elapsed.Seconds(), pct(0.50), pct(0.99))
+	fmt.Printf("reads:  %d window queries (%.0f queries/s) p50=%v p90=%v p99=%v p999=%v\n",
+		reads, float64(reads)/elapsed.Seconds(),
+		time.Duration(p50), time.Duration(p90), time.Duration(p99), time.Duration(p999))
 	qs := store.QueryStats()
 	fmt.Printf("query stats: queries=%d planHits=%d fastEvals=%d chaseEvals=%d snapshotReuses=%d snapshotCopies=%d\n",
 		qs.Queries, qs.PlanHits, qs.FastEvals, qs.ChaseEvals, qs.SnapshotReuses, qs.SnapshotCopies)

@@ -25,12 +25,24 @@
 //	GET    /window      ?attrs=C,T[&where=C=cs101&project=T&limit=10]
 //	GET    /state       full state as JSON rows
 //	GET    /analysis    independence analysis
-//	GET    /stats       per-relation counters, validate latency, WAL depth
+//	GET    /stats       per-relation counters, latency quantiles, WAL depth
+//	GET    /metrics     Prometheus text exposition of every subsystem
+//	GET    /healthz     process liveness (200 as soon as the listener is up)
+//	GET    /readyz      503 until recovery finishes, then 200
 //
 // /window computes the paper's window function: the X-total projection of
 // the representative instance for the requested attribute set, evaluated
 // lock-free over a consistent snapshot (relation-by-relation when the
 // schema is independent, by the serialized chase otherwise).
+//
+// The listener comes up before recovery starts, so orchestrators can probe
+// /healthz and /readyz while a large log replays; store-backed routes
+// answer 503 until then. Every request gets a trace ID (minted, or taken
+// from the X-Indep-Trace request header), echoed in the response header
+// and attached to the access log, slow-operation records, and — on a
+// durable store — the commit's fsync ack, so one grep over the structured
+// log reconstructs a write's full path. -pprof mounts net/http/pprof under
+// /debug/pprof/.
 //
 // Rejected writes answer 409 with {"rejected":true}; malformed ones 400.
 // If the write-ahead log cannot persist an admitted write the daemon
@@ -42,13 +54,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -62,7 +77,16 @@ func main() {
 	file := flag.String("file", "", "read schema/fds from a declaration file")
 	data := flag.String("data", "", "data directory for the write-ahead log (empty: in-memory only)")
 	noFsync := flag.Bool("nofsync", false, "durable mode without fsync (survives process crashes, not power loss)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn, or error")
+	slow := flag.Duration("slow", 100*time.Millisecond, "log operations and commits at or above this duration (0 disables)")
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -loglevel %q: want debug, info, warn, or error", *logLevel))
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	var sch *indep.Schema
 	var err error
@@ -77,42 +101,50 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	logger.Info("schema loaded", "schema", sch.String())
+
+	// Listener first, store second: /healthz and /readyz must answer while
+	// a large write-ahead log replays, and an orchestrator must be able to
+	// tell "starting" from "dead". Store-backed routes answer 503 until the
+	// store is installed.
+	s := newServer(sch, logger, *pprofOn)
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	logger.Info("listening", "addr", ln.Addr().String())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
 	var store *indep.ConcurrentStore
 	var durable *indep.DurableStore
 	if *data != "" {
-		durable, err = sch.OpenDurableStore(*data, indep.DurableOptions{NoFsync: *noFsync})
+		durable, err = sch.OpenDurableStore(*data, indep.DurableOptions{
+			NoFsync:    *noFsync,
+			Logger:     logger,
+			SlowCommit: *slow,
+		})
 		if err != nil {
 			fatal(err)
 		}
 		store = durable.ConcurrentStore
-		rec := durable.Recovery()
-		log.Printf("indepd: recovered %s: checkpoint seq %d (%d tuples), %d log records over %d segments (%d bytes torn tail truncated, %d skipped)",
-			*data, rec.CheckpointSeq, rec.CheckpointTuples, rec.Records, rec.Segments, rec.TruncatedBytes, rec.Skipped)
 	} else {
 		store, err = sch.OpenConcurrentStore()
 		if err != nil {
 			fatal(err)
 		}
 	}
-	log.Printf("indepd: %s", sch)
-	if store.FastPath() {
-		log.Printf("indepd: schema is independent; serving with per-relation lock stripes")
-	} else {
-		log.Printf("indepd: schema is NOT independent; serving through the serialized chase")
-	}
-	log.Printf("indepd: listening on %s", *addr)
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(sch, store, durable),
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
+	s.install(store, durable, *slow)
+	logger.Info("ready", "fastPath", store.FastPath(), "durable", durable != nil)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:
 		fatal(err)
@@ -121,20 +153,20 @@ func main() {
 	// Restore default signal behavior immediately: a second SIGINT/SIGTERM
 	// during a slow drain or a hung final checkpoint must still kill us.
 	stop()
-	log.Printf("indepd: shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("indepd: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if durable != nil {
 		if err := durable.Checkpoint(); err != nil {
-			log.Printf("indepd: final checkpoint: %v", err)
+			logger.Error("final checkpoint", "err", err)
 		} else {
-			log.Printf("indepd: final checkpoint written")
+			logger.Info("final checkpoint written")
 		}
 		if err := durable.Close(); err != nil {
-			log.Printf("indepd: close: %v", err)
+			logger.Error("close", "err", err)
 		}
 	}
 }
@@ -144,27 +176,43 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-// server bundles the schema and store behind the HTTP API. durable is nil
-// when the daemon runs in-memory.
+// server bundles the schema, store, and telemetry behind the HTTP API.
+// store and durable are nil until install runs (durable stays nil for an
+// in-memory daemon); ready gates every store-backed route, and its Store
+// also publishes the store pointers to handler goroutines.
 type server struct {
-	sch     *indep.Schema
+	sch  *indep.Schema
+	log  *slog.Logger
+	reg  *indep.MetricsRegistry
+	http *httpStats
+	mux  *http.ServeMux
+
+	ready   atomic.Bool
 	store   *indep.ConcurrentStore
 	durable *indep.DurableStore
 }
 
 // newServer builds the daemon's handler; split from main so tests can mount
-// it on httptest. Every route is mounted bare and under /v1/ so clients can
-// pin the versioned path.
-func newServer(sch *indep.Schema, store *indep.ConcurrentStore, durable *indep.DurableStore) http.Handler {
-	s := &server{sch: sch, store: store, durable: durable}
-	mux := http.NewServeMux()
+// it on httptest. Every API route is mounted bare and under /v1/ so clients
+// can pin the versioned path. The handler works before install: probe and
+// metrics routes answer immediately, store routes 503.
+func newServer(sch *indep.Schema, logger *slog.Logger, pprofOn bool) *server {
+	reg := indep.NewMetricsRegistry()
+	s := &server{
+		sch:  sch,
+		log:  logger,
+		reg:  reg,
+		http: newHTTPStats(reg),
+		mux:  http.NewServeMux(),
+	}
 	handle := func(pattern string, h http.HandlerFunc) {
 		method, path, ok := strings.Cut(pattern, " ")
 		if !ok {
 			panic("indepd: route pattern without method: " + pattern)
 		}
-		mux.HandleFunc(pattern, h)
-		mux.HandleFunc(method+" /v1"+path, h)
+		wrapped := s.wrap(pattern, s.whenReady(h))
+		s.mux.HandleFunc(pattern, wrapped)
+		s.mux.HandleFunc(method+" /v1"+path, wrapped)
 	}
 	handle("POST /insert", s.handleInsert)
 	handle("POST /batch", s.handleBatch)
@@ -174,7 +222,51 @@ func newServer(sch *indep.Schema, store *indep.ConcurrentStore, durable *indep.D
 	handle("GET /state", s.handleState)
 	handle("GET /analysis", s.handleAnalysis)
 	handle("GET /stats", s.handleStats)
-	return mux
+	// Probe and scrape routes bypass the readiness gate and log at Debug:
+	// a kubelet hitting /healthz every few seconds must not fill the log.
+	s.mux.HandleFunc("GET /metrics", s.wrapAt(slog.LevelDebug, "GET /metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.wrapAt(slog.LevelDebug, "GET /healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.wrapAt(slog.LevelDebug, "GET /readyz", s.handleReadyz))
+	if pprofOn {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// install wires the opened store into the server: telemetry (slow-operation
+// log with trace IDs), metric registration, and the readiness flip. Runs
+// once, after recovery, before any store-backed route answers.
+func (s *server) install(store *indep.ConcurrentStore, durable *indep.DurableStore, slow time.Duration) {
+	store.SetTelemetry(s.log, slow)
+	s.store, s.durable = store, durable
+	if durable != nil {
+		durable.RegisterMetrics(s.reg)
+	} else {
+		store.RegisterMetrics(s.reg)
+	}
+	s.ready.Store(true)
+}
+
+// whenReady answers 503 until install has run. The atomic.Bool is also the
+// publication barrier for s.store/s.durable: install writes them before the
+// Store(true), handlers read them only after Load() observes true.
+func (s *server) whenReady(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"error": "store is recovering; try again shortly"})
+			return
+		}
+		h(w, r)
+	}
 }
 
 // tupleReq is the body of /insert and /tuple.
@@ -232,7 +324,7 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := s.store.Insert(req.Relation, req.Row); err != nil {
+	if err := s.store.InsertCtx(r.Context(), req.Relation, req.Row); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -248,7 +340,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, op := range req.Ops {
 		ops[i] = indep.BatchOp{Rel: op.Relation, Row: op.Row}
 	}
-	if err := s.store.InsertBatch(ops); err != nil {
+	if err := s.store.InsertBatchCtx(r.Context(), ops); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -260,7 +352,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	deleted, err := s.store.Delete(req.Relation, req.Row)
+	deleted, err := s.store.DeleteCtx(r.Context(), req.Relation, req.Row)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -317,7 +409,7 @@ func (s *server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, err := s.store.Query(q)
+	res, err := s.store.QueryCtx(r.Context(), q)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -382,6 +474,17 @@ func (s *server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// quantNs renders a latency histogram snapshot as nanosecond quantiles.
+func quantNs(h indep.HistSnapshot) map[string]any {
+	p50, p90, p99, p999 := h.Quantiles()
+	return map[string]any{
+		"count": h.Count, "p50Ns": p50, "p90Ns": p90, "p99Ns": p99, "p999Ns": p999,
+	}
+}
+
+// handleStats reports the same numbers /metrics exposes — both read the
+// shared histograms and counters, so a JSON probe and a Prometheus scrape
+// can never disagree.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := s.store.Stats()
 	rels := make([]map[string]any, len(stats))
@@ -393,7 +496,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"rejects":  st.Rejects,
 			"deletes":  st.Deletes,
 			"p50Ns":    st.P50.Nanoseconds(),
+			"p90Ns":    st.P90.Nanoseconds(),
 			"p99Ns":    st.P99.Nanoseconds(),
+			"p999Ns":   st.P999.Nanoseconds(),
 		}
 	}
 	qs := s.store.QueryStats()
@@ -411,6 +516,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.durable != nil {
 		ws := s.durable.WAL()
+		write, fsync, group := s.durable.WALLatency()
 		out["wal"] = map[string]any{
 			"segments":     ws.Segments,
 			"oldestSeq":    ws.OldestSeq,
@@ -420,7 +526,40 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"records":      ws.Records,
 			"syncs":        ws.Syncs,
 			"commitGroups": ws.CommitGroups,
+			"write":        quantNs(write),
+			"fsync":        quantNs(fsync),
+			"recordsPerGroup": map[string]any{
+				"count": group.Count,
+				"mean":  group.Mean(),
+				"p50":   group.Quantile(0.50),
+				"p99":   group.Quantile(0.99),
+			},
 		}
+		out["commitWait"] = quantNs(s.durable.CommitWaitStats())
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format
+// 0.0.4. Works before readiness: store families appear once install has
+// registered them, HTTP families from the first request on.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteTo(w)
+}
+
+// handleHealthz is process liveness: 200 as soon as the listener accepts,
+// even while recovery replays the log.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 until the store is installed (recovery
+// finished, telemetry wired), 200 afterwards.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }

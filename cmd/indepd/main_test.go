@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -10,6 +12,10 @@ import (
 
 	"indep"
 )
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 func newTestServer(t *testing.T, schemaSrc, fdSrc string) (*httptest.Server, *indep.ConcurrentStore) {
 	t.Helper()
@@ -21,7 +27,9 @@ func newTestServer(t *testing.T, schemaSrc, fdSrc string) (*httptest.Server, *in
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(sch, store, nil))
+	s := newServer(sch, discardLogger(), false)
+	s.install(store, nil, 0)
+	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return ts, store
 }
@@ -38,7 +46,9 @@ func newDurableTestServer(t *testing.T, dir, schemaSrc, fdSrc string) (*httptest
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	ts := httptest.NewServer(newServer(sch, store.ConcurrentStore, store))
+	s := newServer(sch, discardLogger(), false)
+	s.install(store.ConcurrentStore, store, 0)
+	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return ts, store
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"indep/internal/obs"
+)
+
+// httpStats owns the daemon's HTTP-level metric families. Routes are static
+// so their latency histograms register up front; request counters carry a
+// status label whose values arrive at runtime, so series are created lazily
+// behind a mutex (registration is cheap and happens at most once per
+// route/method/status triple).
+type httpStats struct {
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	requests map[string]*obs.Counter   // route|method|status
+	inflight *obs.Gauge                // requests currently being served
+	lat      map[string]*obs.Histogram // route
+}
+
+func newHTTPStats(reg *obs.Registry) *httpStats {
+	return &httpStats{
+		reg:      reg,
+		requests: make(map[string]*obs.Counter),
+		inflight: reg.Gauge("indep_http_inflight_requests", "requests currently being served"),
+		lat:      make(map[string]*obs.Histogram),
+	}
+}
+
+// routeHist returns the latency histogram for a route, registering it on
+// first use (setup time, single goroutine).
+func (h *httpStats) routeHist(route string) *obs.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hist, ok := h.lat[route]
+	if !ok {
+		hist = h.reg.Histogram("indep_http_request_duration_seconds",
+			"wall time per served request", 1e-9, obs.L("route", route))
+		h.lat[route] = hist
+	}
+	return hist
+}
+
+// note records one finished request.
+func (h *httpStats) note(route, method string, status int, d time.Duration, hist *obs.Histogram) {
+	hist.Observe(int64(d))
+	key := route + "|" + method + "|" + statusText(status)
+	h.mu.Lock()
+	c, ok := h.requests[key]
+	if !ok {
+		c = h.reg.Counter("indep_http_requests_total", "requests served",
+			obs.L("route", route), obs.L("method", method), obs.L("status", statusText(status)))
+		h.requests[key] = c
+	}
+	h.mu.Unlock()
+	c.Inc()
+}
+
+// statusText renders a status code as a label value without fmt.
+func statusText(code int) string {
+	if code < 0 || code > 999 {
+		return "0"
+	}
+	buf := [3]byte{'0', '0', '0'}
+	for i := 2; i >= 0 && code > 0; i-- {
+		buf[i] = byte('0' + code%10)
+		code /= 10
+	}
+	return string(buf[:])
+}
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// traceHeader is the request/response header carrying the trace ID. A
+// client-supplied ID is honored (so a gateway can stitch its own logs to
+// the daemon's); otherwise one is minted. The response always echoes it.
+const traceHeader = "X-Indep-Trace"
+
+// wrap is the access-log and metrics middleware, applied per route so the
+// log and the metric labels carry the registered pattern rather than the
+// raw URL (which may embed user data).
+func (s *server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.wrapAt(slog.LevelInfo, route, h)
+}
+
+// wrapAt is wrap with an explicit access-log level; probe and scrape
+// routes log at Debug so periodic health checks don't fill the log.
+func (s *server) wrapAt(level slog.Level, route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.http.routeHist(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		trace := r.Header.Get(traceHeader)
+		if trace == "" {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set(traceHeader, trace)
+		sw := &statusWriter{ResponseWriter: w}
+		s.http.inflight.Add(1)
+		h(sw, r.WithContext(obs.WithTrace(r.Context(), trace)))
+		s.http.inflight.Add(-1)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		d := time.Since(start)
+		s.http.note(route, r.Method, sw.status, d, hist)
+		s.log.Log(r.Context(), level, "request",
+			"trace", trace,
+			"method", r.Method,
+			"route", route,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", d)
+	}
+}

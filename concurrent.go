@@ -1,8 +1,13 @@
 package indep
 
 import (
+	"context"
+	"log/slog"
+	"time"
+
 	"indep/internal/chase"
 	"indep/internal/engine"
+	"indep/internal/obs"
 	"indep/internal/relation"
 )
 
@@ -45,11 +50,18 @@ func (cs *ConcurrentStore) Analysis() *Analysis { return cs.analysis }
 // values against existing bindings, and interning is what makes that
 // comparison O(1). Deletes, by contrast, never intern (see Delete).
 func (cs *ConcurrentStore) Insert(rel string, row map[string]string) error {
+	return cs.InsertCtx(context.Background(), rel, row)
+}
+
+// InsertCtx is Insert with the context's trace ID (obs.WithTrace) attached
+// to the mutation, so a durable store's fsync ack and any slow-operation
+// record carry the same ID as the caller's access log.
+func (cs *ConcurrentStore) InsertCtx(ctx context.Context, rel string, row map[string]string) error {
 	i, t, err := rowTuple(cs.schema.s, cs.eng.Dict().Value, rel, row)
 	if err != nil {
 		return err
 	}
-	return cs.eng.Insert(i, t)
+	return cs.eng.InsertCtx(ctx, i, t)
 }
 
 // Delete removes a row, reporting whether it was present. Deletions are
@@ -58,6 +70,11 @@ func (cs *ConcurrentStore) Insert(rel string, row map[string]string) error {
 // mentioning a value the store has never seen cannot be present, so the
 // dictionary does not grow on (possibly adversarial) misses.
 func (cs *ConcurrentStore) Delete(rel string, row map[string]string) (bool, error) {
+	return cs.DeleteCtx(context.Background(), rel, row)
+}
+
+// DeleteCtx is Delete with the context's trace ID attached to the mutation.
+func (cs *ConcurrentStore) DeleteCtx(ctx context.Context, rel string, row map[string]string) (bool, error) {
 	missing := false
 	lookup := func(name string) relation.Value {
 		v, ok := cs.eng.Dict().Lookup(name)
@@ -73,7 +90,7 @@ func (cs *ConcurrentStore) Delete(rel string, row map[string]string) (bool, erro
 	if missing {
 		return false, nil
 	}
-	return cs.eng.Delete(i, t)
+	return cs.eng.DeleteCtx(ctx, i, t)
 }
 
 // BatchOp is one row of an InsertBatch.
@@ -89,6 +106,12 @@ type BatchOp struct {
 // (engine.MaxBatchOps) so it always fits one write-ahead-log record on a
 // durable store; split larger loads into multiple batches.
 func (cs *ConcurrentStore) InsertBatch(ops []BatchOp) error {
+	return cs.InsertBatchCtx(context.Background(), ops)
+}
+
+// InsertBatchCtx is InsertBatch with the context's trace ID attached to the
+// commit.
+func (cs *ConcurrentStore) InsertBatchCtx(ctx context.Context, ops []BatchOp) error {
 	eops := make([]engine.Op, len(ops))
 	for k, op := range ops {
 		i, t, err := rowTuple(cs.schema.s, cs.eng.Dict().Value, op.Rel, op.Row)
@@ -97,7 +120,7 @@ func (cs *ConcurrentStore) InsertBatch(ops []BatchOp) error {
 		}
 		eops[k] = engine.Op{Scheme: i, Tuple: t}
 	}
-	return cs.eng.InsertBatch(eops)
+	return cs.eng.InsertBatchCtx(ctx, eops)
 }
 
 // Snapshot returns an immutable consistent view of the store as a Database:
@@ -112,12 +135,26 @@ func (cs *ConcurrentStore) Snapshot() *Database {
 func (cs *ConcurrentStore) Rows() int { return int(cs.eng.Rows()) }
 
 // RelationStats re-exports the engine's per-relation counters: tuple count,
-// accepted inserts, rejects, deletes, and p50/p99 validate latency over a
-// sliding window.
+// accepted inserts, rejects, deletes, and p50/p90/p99/p999 end-to-end
+// latency from the relation's histogram — the same numbers /metrics scrapes.
 type RelationStats = engine.RelationStats
 
 // Stats returns per-relation statistics in schema order.
 func (cs *ConcurrentStore) Stats() []RelationStats { return cs.eng.Stats() }
+
+// SetTelemetry wires the engine's slow-operation log: operations (and
+// window queries) at or above slow are logged to logger with their trace
+// IDs. Call before the store is used concurrently.
+func (cs *ConcurrentStore) SetTelemetry(logger *slog.Logger, slow time.Duration) {
+	cs.eng.SetTelemetry(engine.Telemetry{Log: logger, Slow: slow})
+}
+
+// RegisterMetrics files the store's metric families with the registry:
+// per-relation operation counters and latency histograms, commit and
+// snapshot counters, query-evaluator and chase telemetry.
+func (cs *ConcurrentStore) RegisterMetrics(r *obs.Registry) {
+	cs.eng.RegisterMetrics(r)
+}
 
 // String renders a snapshot of the store's state.
 func (cs *ConcurrentStore) String() string { return cs.Snapshot().String() }

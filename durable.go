@@ -3,9 +3,12 @@ package indep
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"indep/internal/engine"
+	"indep/internal/obs"
 	"indep/internal/relation"
 	"indep/internal/wal"
 )
@@ -41,6 +44,14 @@ type DurableStore struct {
 	log    *wal.Log
 	unlock func() // releases the data-directory lock
 
+	logger *slog.Logger  // nil disables structured commit/checkpoint logging
+	slow   time.Duration // commits waiting at least this long are logged
+
+	commitWait obs.Histogram // commit-to-durable wait, ns
+	ckptDur    obs.Histogram // checkpoint wall time, ns
+	ckptBytes  obs.Histogram // encoded checkpoint size
+	ckptCount  obs.Counter   // checkpoints taken
+
 	mu       sync.Mutex // serializes Checkpoint and Close
 	closed   bool
 	recovery RecoveryStats
@@ -55,16 +66,25 @@ type DurableOptions struct {
 	NoFsync bool
 	// SegmentBytes overrides the segment rotation threshold.
 	SegmentBytes int64
+	// Logger, when set, receives structured records for recovery,
+	// checkpoints, traced commits (the fsync ack carries the request's
+	// trace ID), and slow commits.
+	Logger *slog.Logger
+	// SlowCommit logs commits whose durability wait meets the threshold
+	// (0 disables). The same threshold drives the engine's slow-operation
+	// log when the caller wires one (see ConcurrentStore.SetTelemetry).
+	SlowCommit time.Duration
 }
 
 // RecoveryStats reports what recovery-on-open found.
 type RecoveryStats struct {
-	CheckpointSeq    uint64 // 0 when no checkpoint was loaded
-	CheckpointTuples int    // tuples restored from the checkpoint
-	Segments         int    // log segments scanned
-	Records          int    // committed records replayed
-	TruncatedBytes   int64  // torn-tail bytes removed from the final segment
-	Skipped          int    // records the engine re-rejected (corruption)
+	CheckpointSeq    uint64        // 0 when no checkpoint was loaded
+	CheckpointTuples int           // tuples restored from the checkpoint
+	Segments         int           // log segments scanned
+	Records          int           // committed records replayed
+	TruncatedBytes   int64         // torn-tail bytes removed from the final segment
+	Skipped          int           // records the engine re-rejected (corruption)
+	Duration         time.Duration // wall time from open to ready
 }
 
 // OpenDurableStore opens (or creates) a durable maintained database in
@@ -75,6 +95,7 @@ type RecoveryStats struct {
 // commit to the log via a group-commit writer that coalesces concurrent
 // fsyncs.
 func (s *Schema) OpenDurableStore(dir string, opts DurableOptions) (*DurableStore, error) {
+	openStart := time.Now()
 	cs, err := s.OpenConcurrentStore()
 	if err != nil {
 		return nil, err
@@ -96,6 +117,8 @@ func (s *Schema) OpenDurableStore(dir string, opts DurableOptions) (*DurableStor
 		ConcurrentStore: cs,
 		dir:             dir,
 		unlock:          unlock,
+		logger:          opts.Logger,
+		slow:            opts.SlowCommit,
 	}
 
 	// Phase 1: checkpoint. Dictionary bindings restore to their exact
@@ -215,15 +238,85 @@ func (s *Schema) OpenDurableStore(dir string, opts DurableOptions) (*DurableStor
 			recs = []wal.Record{wal.Batch(ops)}
 		}
 		t := log.Append(recs...)
+		trace, nops := c.Trace, len(c.Ops)
+		start := time.Now()
 		return func() error {
-			if err := t.Wait(); err != nil {
+			err := t.Wait()
+			d := time.Since(start)
+			ds.commitWait.Observe(int64(d))
+			ds.noteCommit(trace, nops, d, err)
+			if err != nil {
 				return fmt.Errorf("%w: %v", ErrDurability, err)
 			}
 			return nil
 		}
 	})
+	ds.recovery.Duration = time.Since(openStart)
+	if opts.Logger != nil {
+		opts.Logger.Info("store recovered",
+			"dir", dir,
+			"checkpoint_seq", ds.recovery.CheckpointSeq,
+			"checkpoint_tuples", ds.recovery.CheckpointTuples,
+			"segments", ds.recovery.Segments,
+			"records", ds.recovery.Records,
+			"truncated_bytes", ds.recovery.TruncatedBytes,
+			"skipped", ds.recovery.Skipped,
+			"duration", ds.recovery.Duration)
+	}
 	ok = true
 	return ds, nil
+}
+
+// noteCommit emits the fsync-ack log line for traced commits (the end of a
+// request's trace: the same ID the HTTP access log printed at ingress) and
+// a warning for commits whose durability wait met the slow threshold.
+func (ds *DurableStore) noteCommit(trace string, ops int, d time.Duration, err error) {
+	if ds.logger == nil {
+		return
+	}
+	if ds.slow > 0 && d >= ds.slow {
+		args := []any{"ops", ops, "wait", d}
+		if trace != "" {
+			args = append(args, "trace", trace)
+		}
+		if err != nil {
+			args = append(args, "err", err)
+		}
+		ds.logger.Warn("slow commit", args...)
+		return
+	}
+	if trace == "" {
+		return
+	}
+	if err != nil {
+		ds.logger.Error("commit failed", "trace", trace, "ops", ops, "wait", d, "err", err)
+		return
+	}
+	ds.logger.Debug("commit durable", "trace", trace, "ops", ops, "wait", d)
+}
+
+// RegisterMetrics files the store's metric families with the registry: the
+// engine's (per-relation counters and latency, query and chase telemetry),
+// the write-ahead log's (fsync and write latency, group batching, segment
+// depth), and the durability layer's own (commit wait, checkpoints,
+// recovery).
+func (ds *DurableStore) RegisterMetrics(r *obs.Registry) {
+	ds.ConcurrentStore.RegisterMetrics(r)
+	ds.log.RegisterMetrics(r)
+	r.RegisterHistogram("indep_durable_commit_wait_seconds",
+		"commit-to-durable wait (group-commit queue plus fsync)", 1e-9, &ds.commitWait)
+	r.CounterFunc("indep_checkpoints_total",
+		"checkpoints written", ds.ckptCount.Value)
+	r.RegisterHistogram("indep_checkpoint_duration_seconds",
+		"checkpoint wall time: snapshot, encode, fsync, truncate", 1e-9, &ds.ckptDur)
+	r.RegisterHistogram("indep_checkpoint_bytes",
+		"encoded checkpoint size", 1, &ds.ckptBytes)
+	r.GaugeFunc("indep_recovery_replayed_records",
+		"log records replayed by the last recovery", func() float64 { return float64(ds.recovery.Records) })
+	r.GaugeFunc("indep_recovery_skipped_records",
+		"records the last recovery re-rejected", func() float64 { return float64(ds.recovery.Skipped) })
+	r.GaugeFunc("indep_recovery_duration_seconds",
+		"wall time of the last recovery", ds.recovery.Duration.Seconds)
 }
 
 // Recovery reports what recovery-on-open found (zero stats for a fresh
@@ -233,6 +326,21 @@ func (ds *DurableStore) Recovery() RecoveryStats { return ds.recovery }
 // WAL returns a point-in-time view of the write-ahead log: segment depth,
 // bytes of replay debt, append and fsync counts.
 func (ds *DurableStore) WAL() wal.LogStats { return ds.log.Stats() }
+
+// WALLatency returns snapshots of the write-ahead log's write-latency,
+// fsync-latency, and records-per-commit-group histograms — the same data
+// the registry exposes, for callers (like indepd's /stats) that want
+// quantiles as JSON rather than an exposition scrape.
+func (ds *DurableStore) WALLatency() (write, fsync, groupRecords HistSnapshot) {
+	return ds.log.LatencyStats()
+}
+
+// CommitWaitStats returns a snapshot of the commit-to-durable wait
+// histogram: how long Insert/InsertBatch/Delete callers blocked between
+// the in-memory commit and the fsync ack.
+func (ds *DurableStore) CommitWaitStats() HistSnapshot {
+	return ds.commitWait.Snapshot()
+}
 
 // Checkpoint serializes a consistent snapshot of the store (state and
 // dictionary) next to the log and truncates the segments it covers. The
@@ -246,12 +354,22 @@ func (ds *DurableStore) Checkpoint() error {
 	if ds.closed {
 		return fmt.Errorf("indep: store is closed")
 	}
+	start := time.Now()
 	var seq uint64
 	st := ds.eng.SnapshotWith(func() { seq = ds.log.Rotate() })
-	if err := wal.WriteCheckpoint(ds.dir, wal.NewCheckpoint(seq, st)); err != nil {
+	size, err := wal.WriteCheckpoint(ds.dir, wal.NewCheckpoint(seq, st))
+	if err != nil {
 		return err
 	}
-	return ds.log.RemoveBefore(seq)
+	err = ds.log.RemoveBefore(seq)
+	d := time.Since(start)
+	ds.ckptCount.Inc()
+	ds.ckptDur.Observe(int64(d))
+	ds.ckptBytes.Observe(size)
+	if ds.logger != nil {
+		ds.logger.Info("checkpoint written", "seq", seq, "bytes", size, "duration", d)
+	}
+	return err
 }
 
 // Close flushes and closes the log. Writes after Close fail; the in-memory

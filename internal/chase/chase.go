@@ -29,12 +29,16 @@ import (
 	"indep/internal/schema"
 )
 
-// Caps bounds a chase computation.
+// Caps bounds a chase computation. Metrics, when non-nil, collects telemetry
+// from every chase run under these caps; it rides here so instrumentation
+// reaches the maintainer's and the query evaluator's internal chases without
+// changing their signatures.
 type Caps struct {
 	MaxRows  int // maximum number of universal rows (JD-rule growth)
 	MaxIters int // maximum number of FD/JD rounds (the FD-rule alone always
 	// terminates, so the budget only matters when a join dependency keeps
 	// adding rows between FD fixpoints)
+	Metrics *Metrics
 }
 
 // DefaultCaps is a budget comfortably above anything the test workloads
@@ -88,6 +92,10 @@ type Engine struct {
 	rowsOf     [][]int32 // symbol root → rows containing a symbol of its class
 	work       []int32
 	registered int
+
+	// met is the telemetry sink of the caps passed to the last ChaseFDs;
+	// settle reports unions through it.
+	met *Metrics
 
 	Failed   bool
 	Conflict *Conflict
@@ -338,6 +346,7 @@ func (e *Engine) settle() error {
 					e.Conflict = &Conflict{FD: sp.f, Attr: a, A: e.val[x], B: e.val[y]}
 					return e.conflictErr()
 				}
+				e.met.noteUnion()
 				e.wake(winner, loser)
 			}
 		}
@@ -376,6 +385,8 @@ func (e *Engine) ChaseFDs(fds fd.List, caps Caps) error {
 		return e.conflictErr()
 	}
 	e.ensureSettle(fds)
+	caps.Metrics.noteSettle(len(e.work))
+	e.met = caps.Metrics
 	return e.settle()
 }
 
@@ -426,6 +437,13 @@ func int32sEqual(a, b []int32) bool {
 // the projections of the current rows onto the schemes of s and adds every
 // missing universal row. It reports whether rows were added.
 func (e *Engine) jdPass(s *schema.Schema, caps Caps) (added bool, err error) {
+	rowsBefore := len(e.rows)
+	defer func() {
+		caps.Metrics.noteJDRound(uint64(len(e.rows) - rowsBefore))
+		if err == ErrBudget {
+			caps.Metrics.noteBudget()
+		}
+	}()
 	// Partial tuples over the union of the schemes processed so far,
 	// represented as resolved symbol vectors with -1 for absent columns.
 	partials := [][]int32{make([]int32, e.width)}
@@ -509,8 +527,10 @@ func (e *Engine) jdPass(s *schema.Schema, caps Caps) (added bool, err error) {
 // MaxIters of 1 allows exactly one FD fixpoint plus one JD sweep, returning
 // ErrBudget only if that sweep still grew the relation.
 func (e *Engine) Chase(fds fd.List, s *schema.Schema, caps Caps) error {
+	caps.Metrics.noteChase()
 	for iter := 0; ; iter++ {
 		if caps.MaxIters > 0 && iter >= caps.MaxIters {
+			caps.Metrics.noteBudget()
 			return ErrBudget
 		}
 		if err := e.ChaseFDs(fds, caps); err != nil {

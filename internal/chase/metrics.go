@@ -1,0 +1,77 @@
+package chase
+
+import "indep/internal/obs"
+
+// Metrics aggregates chase telemetry. The chase is the system's honest
+// exponential fallback, so operators need to see how often it runs and how
+// big its worklists get — a schema edit that silently flips the store off
+// the independent fast path shows up here first.
+//
+// A Metrics value rides inside Caps, so it flows to every chase the owner
+// runs (the maintainer's incremental engine, per-query fallback engines)
+// without widening any signature. A nil *Metrics no-ops; the chase never
+// branches on "is telemetry wired".
+type Metrics struct {
+	Invocations obs.Counter   // full Chase runs (FD+JD fixpoint)
+	FDRounds    obs.Counter   // ChaseFDs settle passes
+	JDRounds    obs.Counter   // JD-rule sweeps
+	Unions      obs.Counter   // FD-rule symbol-class merges
+	JDRows      obs.Counter   // universal rows added by the JD-rule
+	BudgetHits  obs.Counter   // chases that exhausted their Caps
+	Worklist    obs.Histogram // rows pending at the start of each settle
+}
+
+func (m *Metrics) noteChase() {
+	if m == nil {
+		return
+	}
+	m.Invocations.Inc()
+}
+
+func (m *Metrics) noteSettle(pending int) {
+	if m == nil {
+		return
+	}
+	m.FDRounds.Inc()
+	m.Worklist.Observe(int64(pending))
+}
+
+func (m *Metrics) noteUnion() {
+	if m == nil {
+		return
+	}
+	m.Unions.Inc()
+}
+
+func (m *Metrics) noteJDRound(rowsAdded uint64) {
+	if m == nil {
+		return
+	}
+	m.JDRounds.Inc()
+	m.JDRows.Add(rowsAdded)
+}
+
+func (m *Metrics) noteBudget() {
+	if m == nil {
+		return
+	}
+	m.BudgetHits.Inc()
+}
+
+// Register files every chase metric with the registry.
+func (m *Metrics) Register(r *obs.Registry) {
+	r.CounterFunc("indep_chase_invocations_total",
+		"full chase runs (FD and JD rules to fixpoint)", m.Invocations.Value)
+	r.CounterFunc("indep_chase_fd_rounds_total",
+		"FD-rule settle passes, including incremental re-settles", m.FDRounds.Value)
+	r.CounterFunc("indep_chase_jd_rounds_total",
+		"JD-rule sweeps over the universal relation", m.JDRounds.Value)
+	r.CounterFunc("indep_chase_unions_total",
+		"symbol-class merges performed by the FD-rule", m.Unions.Value)
+	r.CounterFunc("indep_chase_jd_rows_total",
+		"universal rows added by the JD-rule", m.JDRows.Value)
+	r.CounterFunc("indep_chase_budget_exhausted_total",
+		"chases aborted on their row or iteration budget", m.BudgetHits.Value)
+	r.RegisterHistogram("indep_chase_worklist_rows",
+		"rows pending at the start of each FD settle", 1, &m.Worklist)
+}

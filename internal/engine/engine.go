@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"indep/internal/independence"
 	"indep/internal/infer"
 	"indep/internal/maintenance"
+	"indep/internal/obs"
 	"indep/internal/query"
 	"indep/internal/relation"
 	"indep/internal/schema"
@@ -40,10 +42,13 @@ type Op struct {
 
 // Commit describes one successful state mutation: the ops that actually
 // changed the state (duplicates and no-op deletes are excluded), and
-// whether they were deletions.
+// whether they were deletions. Trace carries the request trace ID that
+// caused the mutation ("" when none) so the durability layer can tag its
+// fsync ack with the same ID the HTTP access log printed.
 type Commit struct {
 	Ops    []Op
 	Delete bool
+	Trace  string
 }
 
 // CommitHook observes every successful mutation. It is invoked while the
@@ -94,17 +99,26 @@ type Engine struct {
 	evOnce sync.Once
 	ev     *query.Evaluator
 
+	// chaseMet collects telemetry from every chase run under the engine's
+	// caps (maintainer and query fallback); queryLat is the window-query
+	// latency histogram; tel is the slow-operation log (see SetTelemetry).
+	chaseMet *chase.Metrics
+	queryLat obs.Histogram
+	tel      Telemetry
+
 	shards []shard
 }
 
-// shard is the per-relation lock stripe with its operation counters.
+// shard is the per-relation lock stripe with its operation counters. The
+// latency histogram is lock-free and may be observed or snapshotted without
+// holding mu.
 type shard struct {
 	mu      sync.Mutex
 	tuples  int64
 	inserts uint64
 	rejects uint64
 	deletes uint64
-	lat     latRing
+	lat     obs.Histogram // end-to-end op latency in nanoseconds
 }
 
 // note records the outcome of one operation; callers hold sh.mu. Chase
@@ -124,7 +138,7 @@ func (sh *shard) note(added, removed bool, err error, d time.Duration) {
 			sh.tuples++
 		}
 	}
-	sh.lat.add(d)
+	sh.lat.Observe(int64(d))
 }
 
 // New analyzes the schema and opens an empty concurrent engine: lock-striped
@@ -136,19 +150,23 @@ func New(s *schema.Schema, fds fd.List, caps chase.Caps) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		s:      s,
-		fds:    fds,
-		caps:   caps,
-		res:    res,
-		dict:   NewDict(),
-		shards: make([]shard, len(s.Rels)),
+		s:        s,
+		fds:      fds,
+		caps:     caps,
+		res:      res,
+		dict:     NewDict(),
+		chaseMet: &chase.Metrics{},
+		shards:   make([]shard, len(s.Rels)),
 	}
+	// Thread the telemetry sink through the caps so the maintainer's and
+	// the query evaluator's internal chases report into it.
+	e.caps.Metrics = e.chaseMet
 	if res.Independent {
 		e.fast = true
 		e.guard = maintenance.NewGuard(s, res.Cover)
 	} else {
 		e.jd = !infer.AllEmbedded(s, fds)
-		e.chase = maintenance.NewChaseMaintainer(s, fds, e.jd, caps)
+		e.chase = maintenance.NewChaseMaintainer(s, fds, e.jd, e.caps)
 	}
 	return e, nil
 }
@@ -194,13 +212,13 @@ func (e *Engine) commit(c Commit) func() error {
 func (e *Engine) Apply(c Commit) error {
 	if c.Delete {
 		for _, op := range c.Ops {
-			if _, err := e.Delete(op.Scheme, op.Tuple); err != nil {
+			if _, err := e.delete(op.Scheme, op.Tuple, c.Trace); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return e.InsertBatch(c.Ops)
+	return e.insertBatch(c.Ops, c.Trace)
 }
 
 // checkOp validates addressing and arity up front so the maintainers can
@@ -219,6 +237,17 @@ func (e *Engine) checkOp(scheme int, t relation.Tuple) error {
 // Insert validates and adds one tuple. A rejected insert leaves the state
 // unchanged and returns an error wrapping maintenance.ErrViolation.
 func (e *Engine) Insert(scheme int, t relation.Tuple) error {
+	return e.insert(scheme, t, "")
+}
+
+// InsertCtx is Insert with the context's trace ID attached to the commit, so
+// the durability layer and the slow-op log can tie the mutation back to its
+// originating request.
+func (e *Engine) InsertCtx(ctx context.Context, scheme int, t relation.Tuple) error {
+	return e.insert(scheme, t, obs.Trace(ctx))
+}
+
+func (e *Engine) insert(scheme int, t relation.Tuple, trace string) error {
 	if err := e.checkOp(scheme, t); err != nil {
 		return err
 	}
@@ -231,19 +260,23 @@ func (e *Engine) Insert(scheme int, t relation.Tuple) error {
 		sh.mu.Lock()
 		added, err = e.guard.InsertReport(scheme, t)
 		if added && err == nil {
-			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}})
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Trace: trace})
 		}
 	} else {
 		e.mu.Lock()
 		added, err = e.chase.InsertReport(scheme, t)
 		if added && err == nil {
-			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}})
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Trace: trace})
 		}
 		e.mu.Unlock()
 		sh.mu.Lock()
 	}
-	sh.note(added, false, err, time.Since(start))
+	d := time.Since(start)
+	sh.note(added, false, err, d)
 	sh.mu.Unlock()
+	if e.slowHit(d) {
+		e.noteSlow("insert", e.s.Name(scheme), trace, d, err)
+	}
 	if wait != nil {
 		if werr := wait(); werr != nil {
 			return werr
@@ -255,6 +288,15 @@ func (e *Engine) Insert(scheme int, t relation.Tuple) error {
 // Delete removes one tuple, reporting whether it was present. Deletions are
 // always admissible, so the only errors are malformed operations.
 func (e *Engine) Delete(scheme int, t relation.Tuple) (bool, error) {
+	return e.delete(scheme, t, "")
+}
+
+// DeleteCtx is Delete with the context's trace ID attached to the commit.
+func (e *Engine) DeleteCtx(ctx context.Context, scheme int, t relation.Tuple) (bool, error) {
+	return e.delete(scheme, t, obs.Trace(ctx))
+}
+
+func (e *Engine) delete(scheme int, t relation.Tuple, trace string) (bool, error) {
 	if err := e.checkOp(scheme, t); err != nil {
 		return false, err
 	}
@@ -267,21 +309,25 @@ func (e *Engine) Delete(scheme int, t relation.Tuple) (bool, error) {
 		sh.mu.Lock()
 		removed, err = e.guard.Delete(scheme, t)
 		if removed && err == nil {
-			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true})
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true, Trace: trace})
 		}
 	} else {
 		e.mu.Lock()
 		removed, err = e.chase.Delete(scheme, t)
 		if removed && err == nil {
-			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true})
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true, Trace: trace})
 		}
 		e.mu.Unlock()
 		sh.mu.Lock()
 	}
+	d := time.Since(start)
 	if removed || err != nil {
-		sh.note(false, removed, err, time.Since(start))
+		sh.note(false, removed, err, d)
 	}
 	sh.mu.Unlock()
+	if e.slowHit(d) {
+		e.noteSlow("delete", e.s.Name(scheme), trace, d, err)
+	}
 	if wait != nil {
 		if werr := wait(); werr != nil {
 			return removed, werr
@@ -304,6 +350,16 @@ const MaxBatchOps = 1 << 16
 // path the whole batch is validated with a single chase instead of one per
 // tuple. Batches are limited to MaxBatchOps tuples.
 func (e *Engine) InsertBatch(ops []Op) error {
+	return e.insertBatch(ops, "")
+}
+
+// InsertBatchCtx is InsertBatch with the context's trace ID attached to the
+// commit.
+func (e *Engine) InsertBatchCtx(ctx context.Context, ops []Op) error {
+	return e.insertBatch(ops, obs.Trace(ctx))
+}
+
+func (e *Engine) insertBatch(ops []Op, trace string) error {
 	if len(ops) > MaxBatchOps {
 		return fmt.Errorf("engine: batch of %d ops exceeds limit %d", len(ops), MaxBatchOps)
 	}
@@ -316,9 +372,9 @@ func (e *Engine) InsertBatch(ops []Op) error {
 		return nil
 	}
 	if e.fast {
-		return e.batchFast(ops)
+		return e.batchFast(ops, trace)
 	}
-	return e.batchChase(ops)
+	return e.batchChase(ops, trace)
 }
 
 // batchSchemes returns the distinct schemes of the batch in ascending order
@@ -336,7 +392,7 @@ func batchSchemes(ops []Op) []int {
 	return out
 }
 
-func (e *Engine) batchFast(ops []Op) error {
+func (e *Engine) batchFast(ops []Op, trace string) error {
 	start := time.Now()
 	schemes := batchSchemes(ops)
 	for _, s := range schemes {
@@ -362,11 +418,15 @@ func (e *Engine) batchFast(ops []Op) error {
 			e.guard.Delete(added[i].Scheme, added[i].Tuple)
 		}
 	} else if len(added) > 0 {
-		wait = e.commit(Commit{Ops: added})
+		wait = e.commit(Commit{Ops: added, Trace: trace})
 	}
-	e.noteBatch(ops, added, schemes, err, time.Since(start))
+	d := time.Since(start)
+	e.noteBatch(ops, added, schemes, err, d)
 	for _, s := range schemes {
 		e.shards[s].mu.Unlock()
+	}
+	if e.slowHit(d) {
+		e.noteSlow("batch", fmt.Sprintf("%d ops", len(ops)), trace, d, err)
 	}
 	if wait != nil {
 		if werr := wait(); werr != nil {
@@ -376,7 +436,7 @@ func (e *Engine) batchFast(ops []Op) error {
 	return err
 }
 
-func (e *Engine) batchChase(ops []Op) error {
+func (e *Engine) batchChase(ops []Op, trace string) error {
 	start := time.Now()
 	extras := make([]chase.Extra, len(ops))
 	for i, op := range ops {
@@ -394,7 +454,7 @@ func (e *Engine) batchChase(ops []Op) error {
 			added = append(added, Op{Scheme: x.Scheme, Tuple: x.Tuple})
 		}
 		if len(added) > 0 {
-			wait = e.commit(Commit{Ops: added})
+			wait = e.commit(Commit{Ops: added, Trace: trace})
 		}
 	}
 	e.mu.Unlock()
@@ -406,6 +466,9 @@ func (e *Engine) batchChase(ops []Op) error {
 	e.noteBatch(ops, added, schemes, err, d)
 	for _, s := range schemes {
 		e.shards[s].mu.Unlock()
+	}
+	if e.slowHit(d) {
+		e.noteSlow("batch", fmt.Sprintf("%d ops", len(ops)), trace, d, err)
 	}
 	if wait != nil {
 		if werr := wait(); werr != nil {
@@ -436,7 +499,7 @@ func (e *Engine) noteBatch(ops, added []Op, schemes []int, err error, d time.Dur
 		}
 	}
 	for _, s := range schemes {
-		e.shards[s].lat.add(d)
+		e.shards[s].lat.Observe(int64(d))
 	}
 }
 
@@ -488,10 +551,11 @@ func (e *Engine) Rows() int64 {
 }
 
 // RelationStats is a point-in-time view of one relation's operation
-// counters. Latency percentiles are over a sliding window of the last
-// latWindow operations touching the relation and measure the full
-// end-to-end operation — lock wait included — so under contention they
-// report what callers actually experience, not the bare validation cost.
+// counters. Latency quantiles come from the relation's log2-bucketed
+// histogram — the same histogram /metrics exposes — and cover every
+// operation since the engine opened. They measure the full end-to-end
+// operation, lock wait included, so under contention they report what
+// callers actually experience, not the bare validation cost.
 type RelationStats struct {
 	Relation string
 	Tuples   int64
@@ -499,7 +563,9 @@ type RelationStats struct {
 	Rejects  uint64        // rejected operations
 	Deletes  uint64        // deletes that removed a tuple
 	P50      time.Duration // end-to-end op latency, incl. lock wait
+	P90      time.Duration
 	P99      time.Duration
+	P999     time.Duration
 }
 
 // Stats returns per-relation statistics in scheme order.
@@ -507,52 +573,21 @@ func (e *Engine) Stats() []RelationStats {
 	out := make([]RelationStats, len(e.shards))
 	for i := range e.shards {
 		sh := &e.shards[i]
+		snap := sh.lat.Snapshot()
 		sh.mu.Lock()
-		p50, p99 := sh.lat.percentiles()
 		out[i] = RelationStats{
 			Relation: e.s.Name(i),
 			Tuples:   sh.tuples,
 			Inserts:  sh.inserts,
 			Rejects:  sh.rejects,
 			Deletes:  sh.deletes,
-			P50:      p50,
-			P99:      p99,
 		}
 		sh.mu.Unlock()
+		p50, p90, p99, p999 := snap.Quantiles()
+		out[i].P50 = time.Duration(p50)
+		out[i].P90 = time.Duration(p90)
+		out[i].P99 = time.Duration(p99)
+		out[i].P999 = time.Duration(p999)
 	}
 	return out
-}
-
-// latWindow is the sliding-window size for latency percentiles.
-const latWindow = 1024
-
-// latRing is a fixed-size ring of validate latencies in nanoseconds.
-type latRing struct {
-	buf  [latWindow]int64
-	n    int // filled entries
-	next int // next write position
-}
-
-func (r *latRing) add(d time.Duration) {
-	r.buf[r.next] = int64(d)
-	r.next = (r.next + 1) % latWindow
-	if r.n < latWindow {
-		r.n++
-	}
-}
-
-// percentiles returns the window's p50 and p99 (nearest-rank on a sorted
-// copy; zero when the window is empty).
-func (r *latRing) percentiles() (p50, p99 time.Duration) {
-	if r.n == 0 {
-		return 0, 0
-	}
-	cp := make([]int64, r.n)
-	copy(cp, r.buf[:r.n])
-	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
-	at := func(p float64) time.Duration {
-		i := int(p * float64(r.n-1))
-		return time.Duration(cp[i])
-	}
-	return at(0.50), at(0.99)
 }

@@ -1,7 +1,11 @@
 package engine
 
 import (
+	"context"
+	"time"
+
 	"indep/internal/attrset"
+	"indep/internal/obs"
 	"indep/internal/query"
 	"indep/internal/relation"
 )
@@ -57,8 +61,21 @@ func (e *Engine) evaluator() *query.Evaluator {
 // against is returned alongside the result so callers can render values
 // through its dictionary.
 func (e *Engine) Window(x attrset.Set) (*query.Result, *relation.State, error) {
+	return e.WindowCtx(context.Background(), x)
+}
+
+// WindowCtx is Window with the context's trace ID attached to any slow-query
+// log record; the query latency lands in the engine's window histogram
+// either way.
+func (e *Engine) WindowCtx(ctx context.Context, x attrset.Set) (*query.Result, *relation.State, error) {
+	start := time.Now()
 	st := e.QuerySnapshot()
 	res, err := e.evaluator().Window(st, x)
+	d := time.Since(start)
+	e.queryLat.Observe(int64(d))
+	if e.slowHit(d) {
+		e.noteSlow("window", e.s.U.Format(x, ""), obs.Trace(ctx), d, err)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

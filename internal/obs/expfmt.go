@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the strict line parser for Prometheus text exposition that
+// CI scrapes /metrics through (and FuzzParseExposition hammers). It accepts
+// exactly what a healthy exporter should emit — HELP/TYPE headed families,
+// contiguous samples, well-formed labels, consistent histograms — and
+// rejects everything else, so a formatting regression fails the build
+// instead of silently corrupting a scrape.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels []Label // in line order; names unique
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s *Sample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParsedFamily is one metric family of a parsed exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseExposition strictly parses Prometheus text exposition format. Every
+// family must open with `# HELP` then `# TYPE`, its samples must follow
+// contiguously, sample names must match the family (histograms may only use
+// the _bucket/_sum/_count forms), labels must be well-formed with unique
+// names, values must parse as floats, and histograms must be internally
+// consistent (le present and increasing, cumulative counts nondecreasing,
+// +Inf bucket equal to _count). The input must end with a newline.
+func ParseExposition(data []byte) ([]ParsedFamily, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("expfmt: empty exposition")
+	}
+	if data[len(data)-1] != '\n' {
+		return nil, fmt.Errorf("expfmt: missing trailing newline")
+	}
+	var fams []ParsedFamily
+	seen := make(map[string]bool)
+	var cur *ParsedFamily
+	var pendingHelp string
+	havePendingHelp := false
+
+	lines := strings.Split(string(data[:len(data)-1]), "\n")
+	for ln, line := range lines {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("expfmt: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := line[len("# HELP "):]
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fail("malformed HELP line")
+			}
+			if !nameRE.MatchString(name) {
+				return nil, fail("HELP for invalid metric name %q", name)
+			}
+			if havePendingHelp {
+				return nil, fail("HELP %s follows HELP without a TYPE", name)
+			}
+			if seen[name] {
+				return nil, fail("family %s re-opened", name)
+			}
+			cur = &ParsedFamily{Name: name}
+			pendingHelp = help
+			havePendingHelp = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fail("malformed TYPE line")
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" && typ != "summary" && typ != "untyped" {
+				return nil, fail("unknown TYPE %q", typ)
+			}
+			if !havePendingHelp || cur == nil || cur.Name != name {
+				return nil, fail("TYPE %s without a preceding HELP", name)
+			}
+			cur.Help = pendingHelp
+			cur.Type = typ
+			havePendingHelp = false
+			seen[name] = true
+			fams = append(fams, *cur)
+			cur = &fams[len(fams)-1]
+		case strings.HasPrefix(line, "#"):
+			return nil, fail("unexpected comment %q", line)
+		default:
+			if havePendingHelp {
+				return nil, fail("sample before TYPE line")
+			}
+			s, err := parseSample(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if cur == nil {
+				return nil, fail("sample %s before any family", s.Name)
+			}
+			if !sampleBelongs(cur, s.Name) {
+				return nil, fail("sample %s does not belong to family %s", s.Name, cur.Name)
+			}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if havePendingHelp {
+		return nil, fmt.Errorf("expfmt: trailing HELP without TYPE")
+	}
+	for i := range fams {
+		if err := checkFamily(&fams[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample name is legal inside the family.
+func sampleBelongs(f *ParsedFamily, name string) bool {
+	if f.Type == "histogram" {
+		return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
+	}
+	return name == f.Name
+}
+
+// parseSample parses `name{k="v",...} value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	s.Name = rest[:i]
+	if !nameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return s, fmt.Errorf("missing space before value in %q", line)
+	}
+	val := rest[1:]
+	if val == "" || strings.ContainsAny(val, " \t") {
+		return s, fmt.Errorf("malformed value %q", val)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", val, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a `{k="v",...}` block, returning the remainder of the
+// line after the closing brace.
+func parseLabels(rest string) ([]Label, string, error) {
+	rest = rest[1:] // consume '{'
+	var out []Label
+	names := make(map[string]bool)
+	for {
+		i := strings.IndexByte(rest, '=')
+		if i < 0 {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		name := rest[:i]
+		if !labelRE.MatchString(name) && name != "le" {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		if names[name] {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		names[name] = true
+		rest = rest[i+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, "", fmt.Errorf("label %s value is not quoted", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if rest == "" {
+					return nil, "", fmt.Errorf("dangling escape in label %s", name)
+				}
+				e := rest[0]
+				rest = rest[1:]
+				switch e {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %s", e, name)
+				}
+				continue
+			}
+			val.WriteByte(c)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return out, rest[1:], nil
+		}
+		return nil, "", fmt.Errorf("expected ',' or '}' after label %s", name)
+	}
+}
+
+// checkFamily validates per-type invariants over a family's samples.
+func checkFamily(f *ParsedFamily) error {
+	switch f.Type {
+	case "counter":
+		for _, s := range f.Samples {
+			if s.Value < 0 || math.IsNaN(s.Value) {
+				return fmt.Errorf("expfmt: counter %s has invalid value %v", f.Name, s.Value)
+			}
+		}
+	case "histogram":
+		return checkHistogram(f)
+	}
+	return nil
+}
+
+// histKey renders a sample's labels minus le — the identity of one
+// histogram series.
+func histKey(s *Sample) string {
+	var parts []string
+	for _, l := range s.Labels {
+		if l.Name != "le" {
+			parts = append(parts, l.Name+"="+l.Value)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// checkHistogram validates each series of a histogram family: le present
+// and strictly increasing, cumulative bucket counts nondecreasing, a +Inf
+// bucket present, and _count equal to it.
+func checkHistogram(f *ParsedFamily) error {
+	type hstate struct {
+		lastLe  float64
+		lastCum float64
+		buckets int
+		inf     bool
+		infVal  float64
+		count   float64
+		hasCnt  bool
+	}
+	states := make(map[string]*hstate)
+	state := func(s *Sample) *hstate {
+		k := histKey(s)
+		st, ok := states[k]
+		if !ok {
+			st = &hstate{lastLe: math.Inf(-1)}
+			states[k] = st
+		}
+		return st
+	}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		st := state(s)
+		switch s.Name {
+		case f.Name + "_bucket":
+			le := s.Label("le")
+			if le == "" {
+				return fmt.Errorf("expfmt: histogram %s bucket without le", f.Name)
+			}
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("expfmt: histogram %s bad le %q", f.Name, le)
+			}
+			if v <= st.lastLe {
+				return fmt.Errorf("expfmt: histogram %s le %q not increasing", f.Name, le)
+			}
+			if s.Value < st.lastCum {
+				return fmt.Errorf("expfmt: histogram %s cumulative count decreased at le %q", f.Name, le)
+			}
+			st.lastLe = v
+			st.lastCum = s.Value
+			st.buckets++
+			if math.IsInf(v, +1) {
+				st.inf = true
+				st.infVal = s.Value
+			}
+		case f.Name + "_count":
+			st.count = s.Value
+			st.hasCnt = true
+		}
+	}
+	for k, st := range states {
+		if st.buckets == 0 {
+			continue // a series keyed only by its _sum/_count — impossible from our renderer
+		}
+		if !st.inf {
+			return fmt.Errorf("expfmt: histogram %s{%s} missing +Inf bucket", f.Name, k)
+		}
+		if st.hasCnt && st.infVal != st.count {
+			return fmt.Errorf("expfmt: histogram %s{%s} +Inf bucket %v != count %v", f.Name, k, st.infVal, st.count)
+		}
+	}
+	return nil
+}
+
+// LintExposition applies the repo naming convention (CheckName) to every
+// family of a parsed exposition — the CI metric-naming gate.
+func LintExposition(fams []ParsedFamily) error {
+	for _, f := range fams {
+		var kind Kind
+		switch f.Type {
+		case "counter":
+			kind = KindCounter
+		case "gauge":
+			kind = KindGauge
+		case "histogram":
+			kind = KindHistogram
+		default:
+			return fmt.Errorf("obs: family %s has unlintable type %q", f.Name, f.Type)
+		}
+		if err := CheckName(kind, f.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

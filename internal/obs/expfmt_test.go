@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates one of everything the renderer can emit.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("indep_test_ops_total", "operations", L("relation", "CT"))
+	c.Add(7)
+	r.Counter("indep_test_ops_total", "operations", L("relation", `weird"rel\n`)).Add(1)
+	r.CounterFunc("indep_test_fn_total", "func-backed counter", func() uint64 { return 42 })
+	g := r.Gauge("indep_test_depth", "queue depth")
+	g.Set(-3)
+	r.GaugeFunc("indep_test_ratio", "a ratio", func() float64 { return 0.25 })
+	h := r.Histogram("indep_test_latency_seconds", "op latency", 1e-9, L("relation", "CT"))
+	for i := int64(1); i < 5000; i *= 3 {
+		h.Observe(i)
+	}
+	r.Histogram("indep_test_empty_seconds", "never observed", 1e-9)
+	return r
+}
+
+// TestExpositionRoundTrip renders a populated registry and feeds it back
+// through the strict parser: the renderer and the CI gate must agree.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := buildTestRegistry()
+	out := r.Expose()
+	fams, err := ParseExposition(out)
+	if err != nil {
+		t.Fatalf("own exposition rejected: %v\n%s", err, out)
+	}
+	if err := LintExposition(fams); err != nil {
+		t.Fatalf("own exposition fails lint: %v", err)
+	}
+	byName := make(map[string]ParsedFamily)
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["indep_test_ops_total"]; f.Type != "counter" || len(f.Samples) != 2 {
+		t.Fatalf("ops_total family: %+v", f)
+	}
+	for _, s := range byName["indep_test_ops_total"].Samples {
+		if s.Label("relation") == "CT" && s.Value != 7 {
+			t.Fatalf("CT counter = %v, want 7", s.Value)
+		}
+	}
+	if f := byName["indep_test_depth"]; f.Samples[0].Value != -3 {
+		t.Fatalf("gauge = %v, want -3", f.Samples[0].Value)
+	}
+	if f := byName["indep_test_latency_seconds"]; f.Type != "histogram" {
+		t.Fatalf("latency family: %+v", f)
+	} else {
+		var count, sum bool
+		for _, s := range f.Samples {
+			count = count || s.Name == "indep_test_latency_seconds_count"
+			sum = sum || s.Name == "indep_test_latency_seconds_sum"
+		}
+		if !count || !sum {
+			t.Fatalf("histogram missing sum/count: %+v", f.Samples)
+		}
+	}
+	// An empty histogram still renders a valid series (+Inf, sum, count).
+	if f := byName["indep_test_empty_seconds"]; len(f.Samples) < 3 {
+		t.Fatalf("empty histogram samples: %+v", f.Samples)
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"no trailing newline", "# HELP a_total x\n# TYPE a_total counter\na_total 1"},
+		{"sample before type", "a_total 1\n"},
+		{"type without help", "# TYPE a_total counter\na_total 1\n"},
+		{"unknown type", "# HELP a_total x\n# TYPE a_total histo\n"},
+		{"reopened family", "# HELP a_total x\n# TYPE a_total counter\na_total 1\n# HELP b v\n# TYPE b gauge\nb 1\n# HELP a_total x\n# TYPE a_total counter\n"},
+		{"foreign sample", "# HELP a_total x\n# TYPE a_total counter\nb_total 1\n"},
+		{"bad value", "# HELP a_total x\n# TYPE a_total counter\na_total one\n"},
+		{"negative counter", "# HELP a_total x\n# TYPE a_total counter\na_total -1\n"},
+		{"unterminated labels", "# HELP a_total x\n# TYPE a_total counter\na_total{x=\"1\" 1\n"},
+		{"duplicate label", "# HELP a_total x\n# TYPE a_total counter\na_total{x=\"1\",x=\"2\"} 1\n"},
+		{"bad escape", "# HELP a_total x\n# TYPE a_total counter\na_total{x=\"\\q\"} 1\n"},
+		{"uppercase name", "# HELP A_total x\n# TYPE A_total counter\nA_total 1\n"},
+		{"stray comment", "# not a directive\n"},
+		{"bucket without le", "# HELP h_seconds x\n# TYPE h_seconds histogram\nh_seconds_bucket 1\n"},
+		{"le not increasing", "# HELP h_seconds x\n# TYPE h_seconds histogram\nh_seconds_bucket{le=\"2\"} 1\nh_seconds_bucket{le=\"1\"} 2\nh_seconds_bucket{le=\"+Inf\"} 2\nh_seconds_count 2\n"},
+		{"cumulative decreases", "# HELP h_seconds x\n# TYPE h_seconds histogram\nh_seconds_bucket{le=\"1\"} 3\nh_seconds_bucket{le=\"2\"} 1\nh_seconds_bucket{le=\"+Inf\"} 3\nh_seconds_count 3\n"},
+		{"missing inf", "# HELP h_seconds x\n# TYPE h_seconds histogram\nh_seconds_bucket{le=\"1\"} 1\nh_seconds_count 1\n"},
+		{"count mismatch", "# HELP h_seconds x\n# TYPE h_seconds histogram\nh_seconds_bucket{le=\"+Inf\"} 2\nh_seconds_count 3\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseExposition([]byte(c.in)); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestParseExpositionAccepts(t *testing.T) {
+	in := "# HELP h_seconds latency\n# TYPE h_seconds histogram\n" +
+		"h_seconds_bucket{relation=\"CT\",le=\"0.001\"} 1\n" +
+		"h_seconds_bucket{relation=\"CT\",le=\"+Inf\"} 2\n" +
+		"h_seconds_sum{relation=\"CT\"} 0.5\n" +
+		"h_seconds_count{relation=\"CT\"} 2\n" +
+		"h_seconds_bucket{relation=\"CS\",le=\"+Inf\"} 0\n" +
+		"h_seconds_sum{relation=\"CS\"} 0\n" +
+		"h_seconds_count{relation=\"CS\"} 0\n" +
+		"\n# HELP g depth\n# TYPE g gauge\ng 4\n"
+	fams, err := ParseExposition([]byte(in))
+	if err != nil {
+		t.Fatalf("rejected valid exposition: %v", err)
+	}
+	if len(fams) != 2 || fams[0].Name != "h_seconds" || len(fams[0].Samples) != 7 {
+		t.Fatalf("parse: %+v", fams)
+	}
+}
+
+func TestCheckName(t *testing.T) {
+	good := []struct {
+		k Kind
+		n string
+	}{
+		{KindCounter, "indep_engine_inserts_total"},
+		{KindGauge, "indep_wal_segments"},
+		{KindHistogram, "indep_wal_fsync_duration_seconds"},
+		{KindHistogram, "indep_wal_commit_group_records"},
+	}
+	for _, c := range good {
+		if err := CheckName(c.k, c.n); err != nil {
+			t.Errorf("CheckName(%v, %s): %v", c.k, c.n, err)
+		}
+	}
+	bad := []struct {
+		k Kind
+		n string
+	}{
+		{KindCounter, "indep_engine_inserts"},  // counter without _total
+		{KindCounter, "Indep_inserts_total"},   // uppercase
+		{KindCounter, "indep__inserts_total"},  // double underscore
+		{KindCounter, "_indep_inserts_total"},  // leading underscore
+		{KindGauge, "indep_rows_total"},        // gauge with counter suffix
+		{KindGauge, "indep_lat_sum"},           // reserved suffix
+		{KindHistogram, "indep_wal_fsync_ute"}, // no unit suffix
+		{KindHistogram, "indep_latency_total"}, // histogram named like counter
+		{KindCounter, "indep-engine-total"},    // kebab case
+		{KindCounter, "indep_engine_total_"},   // trailing underscore
+	}
+	for _, c := range bad {
+		if err := CheckName(c.k, c.n); err == nil {
+			t.Errorf("CheckName(%v, %s): accepted", c.k, c.n)
+		}
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("indep_x_total", "x", L("a", "1"))
+	mustPanic("duplicate series", func() { r.Counter("indep_x_total", "x", L("a", "1")) })
+	mustPanic("kind clash", func() { r.Gauge("indep_x_total", "x") })
+	mustPanic("help clash", func() { r.Counter("indep_x_total", "different", L("a", "2")) })
+	mustPanic("bad name", func() { r.Counter("indep_X_total", "x") })
+	mustPanic("bad label", func() { r.Counter("indep_y_total", "y", L("Bad", "1")) })
+	mustPanic("le label", func() { r.Counter("indep_z_total", "z", L("le", "1")) })
+	mustPanic("bad scale", func() { r.Histogram("indep_h_seconds", "h", 0) })
+}
+
+// FuzzParseExposition throws arbitrary bytes at the strict parser: it must
+// never panic, and whatever it accepts must re-render... at minimum, hold
+// its own invariants (families have names and known types).
+func FuzzParseExposition(f *testing.F) {
+	f.Add([]byte("# HELP a_total x\n# TYPE a_total counter\na_total 1\n"))
+	f.Add([]byte("# HELP h_seconds x\n# TYPE h_seconds histogram\nh_seconds_bucket{le=\"+Inf\"} 0\nh_seconds_sum 0\nh_seconds_count 0\n"))
+	f.Add(buildTestRegistry().Expose())
+	f.Add([]byte("a_total{x=\"\\\\\\\"\\n\"} 1\n"))
+	f.Add([]byte("# TYPE\n# HELP\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fams, err := ParseExposition(data)
+		if err != nil {
+			return
+		}
+		for _, fam := range fams {
+			if fam.Name == "" {
+				t.Fatalf("accepted family without a name: %q", data)
+			}
+			if !strings.Contains("counter gauge histogram summary untyped", fam.Type) || fam.Type == "" {
+				t.Fatalf("accepted unknown type %q", fam.Type)
+			}
+			for _, s := range fam.Samples {
+				if s.Name == "" {
+					t.Fatalf("accepted sample without a name: %q", data)
+				}
+			}
+		}
+	})
+}

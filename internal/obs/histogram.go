@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of a Histogram: bucket 0 holds
+// non-positive observations, bucket i (i ≥ 1) holds values v with
+// 2^(i-1) ≤ v < 2^i, i.e. values whose bit length is i. 63 value buckets
+// cover the whole non-negative int64 range, so there is no overflow bucket
+// to saturate.
+const HistBuckets = 64
+
+// Histogram is a lock-free log2-bucketed histogram of int64 observations
+// (typically nanoseconds). Observations land in power-of-two buckets, so
+// Observe is two atomic adds and quantile estimates are exact to within one
+// octave (linear interpolation inside the bucket does much better in
+// practice). A nil Histogram no-ops. All methods are safe for concurrent
+// use.
+//
+// Snapshots are mergeable: per-relation histograms can be folded into a
+// store-wide view, and a scrape renders cumulative Prometheus buckets
+// directly from a snapshot.
+type Histogram struct {
+	sum     atomic.Int64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// bucketOf returns the bucket index for an observation.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(int64(time.Since(start)))
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Bucket loads are
+// not one atomic cut, but each bucket is monotone, so the snapshot is a
+// valid histogram of a slightly-smeared instant — fine for monitoring.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram, mergeable with others
+// over the same unit.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets [HistBuckets]uint64
+}
+
+// Merge folds other into s.
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// bucketBounds returns the value range [lo, hi] covered by bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, int64(^uint64(0) >> 1)
+	}
+	return lo, int64(1)<<i - 1
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (the "le" of
+// its Prometheus rendering).
+func BucketUpper(i int) int64 { _, hi := bucketBounds(i); return hi }
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) by nearest-rank over the
+// buckets with linear interpolation inside the chosen bucket. The estimate
+// is always within the true quantile's bucket, i.e. off by at most a factor
+// of two. Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(s.Count-1)) // 0-based nearest rank
+	var seen uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if rank < seen+n {
+			lo, hi := bucketBounds(i)
+			// Interpolate the rank's position within this bucket.
+			frac := float64(rank-seen) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		seen += n
+	}
+	_, hi := bucketBounds(HistBuckets - 1)
+	return hi
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantiles returns the conventional latency summary p50/p90/p99/p999.
+func (s HistSnapshot) Quantiles() (p50, p90, p99, p999 int64) {
+	return s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99), s.Quantile(0.999)
+}

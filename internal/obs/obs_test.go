@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines and checks
+// that no increment is lost (run under -race in CI).
+func TestCounterConcurrent(t *testing.T) {
+	const goroutines, perG = 16, 10000
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Counter lost updates: %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterAddAndNil(t *testing.T) {
+	var c Counter
+	c.Add(41)
+	c.Inc()
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	var nilC *Counter
+	nilC.Add(7) // must not panic
+	nilC.Inc()
+	if nilC.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Gauge = %d, want 7", got)
+	}
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+}
+
+// TestHistogramConcurrent checks that concurrent observations are all
+// counted and the sum matches.
+func TestHistogramConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+	n := int64(goroutines * perG)
+	if want := n * (n - 1) / 2; s.Sum != want {
+		t.Fatalf("Sum = %d, want %d", s.Sum, want)
+	}
+}
+
+// TestHistogramQuantileAccuracy draws a skewed sample, computes exact
+// quantiles from the sorted reference, and checks every histogram estimate
+// lands within the log2 bucket guarantee: estimate and truth within a
+// factor of two (± the bucket that contains the true value).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1982))
+	var h Histogram
+	vals := make([]int64, 20000)
+	for i := range vals {
+		// Log-normal-ish latencies: a heavy tail like a real fsync profile.
+		v := int64(100 * (1 + rng.ExpFloat64()*50))
+		vals[i] = v
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	exact := func(p float64) int64 { return vals[int(p*float64(len(vals)-1))] }
+
+	s := h.Snapshot()
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got, want := s.Quantile(p), exact(p)
+		if got < want/2 || got > want*2 {
+			t.Errorf("Quantile(%v) = %d, exact %d: outside the 2x bucket bound", p, got, want)
+		}
+	}
+	if s.Quantile(0) > exact(0)*2 || s.Quantile(1) < exact(1)/2 {
+		t.Errorf("extreme quantiles out of range: q0=%d q1=%d exact [%d, %d]",
+			s.Quantile(0), s.Quantile(1), exact(0), exact(1))
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+	var h Histogram
+	h.Observe(-5) // clamps into bucket 0
+	h.Observe(0)
+	h.Observe(1)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 {
+		t.Fatalf("bucket layout: %v", s.Buckets[:3])
+	}
+	var nilH *Histogram
+	nilH.Observe(1)
+	nilH.ObserveSince(time.Now())
+	if nilH.Snapshot().Count != 0 {
+		t.Fatal("nil histogram observed something")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i)
+		b.Observe(i * 1000)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 200 {
+		t.Fatalf("merged Count = %d, want 200", s.Count)
+	}
+	// The merged p50 must sit between the two sub-populations.
+	p50 := s.Quantile(0.5)
+	if p50 < 50 || p50 > 2000 {
+		t.Fatalf("merged p50 = %d, want between the populations", p50)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if Trace(context.Background()) != "" {
+		t.Fatal("background context has a trace")
+	}
+	id := NewTraceID()
+	if len(id) != 16 {
+		t.Fatalf("trace ID %q: want 16 hex chars", id)
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatalf("trace IDs collide: %q", id)
+	}
+	ctx := WithTrace(context.Background(), id)
+	if got := Trace(ctx); got != id {
+		t.Fatalf("Trace = %q, want %q", got, id)
+	}
+}
+
+// TestHistogramObserveRace exercises Observe concurrently with Snapshot so
+// the race detector sees both sides.
+func TestHistogramObserveRace(t *testing.T) {
+	var h Histogram
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20000; i++ {
+			h.Observe(int64(i % 4096))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s := h.Snapshot()
+		if s.Quantile(0.99) < 0 {
+			t.Fatal("negative quantile")
+		}
+	}
+	<-done
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// Trace IDs tie one request's slog lines together across layers: the HTTP
+// access log, the engine's slow-op log, and the WAL fsync ack all carry the
+// same ID, so `grep <id>` reconstructs an insert's full path from ingress
+// to durability.
+
+type traceKeyType struct{}
+
+var traceKey traceKeyType
+
+// NewTraceID returns a fresh 16-hex-character request ID. Crypto randomness
+// when available, falling back to the runtime's fast source — trace IDs
+// need uniqueness, not unpredictability.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		u := rand.Uint64()
+		for i := range b {
+			b[i] = byte(u >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTrace returns a context carrying the trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey, id)
+}
+
+// Trace returns the context's trace ID, or "" when none was attached.
+func Trace(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey).(string)
+	return id
+}

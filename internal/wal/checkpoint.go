@@ -147,30 +147,32 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 
 // WriteCheckpoint durably writes ck to dir (temp file, fsync, atomic
 // rename, directory fsync) and garbage-collects older checkpoint files.
-func WriteCheckpoint(dir string, ck *Checkpoint) error {
+// It returns the checkpoint's encoded size in bytes.
+func WriteCheckpoint(dir string, ck *Checkpoint) (int64, error) {
 	data := ck.encode()
+	size := int64(len(data))
 	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return err
+		return 0, err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return err
+		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		return 0, err
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, ckptName(ck.Seq))); err != nil {
-		return err
+		return 0, err
 	}
 	syncDir(dir)
 	removeCheckpointsExcept(dir, ck.Seq)
-	return nil
+	return size, nil
 }
 
 // LatestCheckpoint loads the newest readable checkpoint in dir, or nil if

@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"indep/internal/obs"
 )
 
 // SyncMode selects the durability level of the log.
@@ -107,6 +110,39 @@ type Log struct {
 
 	// … except the stats snapshot, which readers take under mu.
 	stats LogStats
+
+	// Latency and batching histograms, lock-free: the writer goroutine
+	// observes, scrapers snapshot concurrently.
+	writeLat  obs.Histogram // write(2) duration per flushed group, ns
+	fsyncLat  obs.Histogram // fsync duration, ns
+	groupRecs obs.Histogram // records coalesced per commit group
+}
+
+// LatencyStats returns snapshots of the log's write-latency, fsync-latency,
+// and records-per-commit-group histograms — the same histograms /metrics
+// exposes, so /stats and a scrape always agree.
+func (l *Log) LatencyStats() (write, fsync, groupRecords obs.HistSnapshot) {
+	return l.writeLat.Snapshot(), l.fsyncLat.Snapshot(), l.groupRecs.Snapshot()
+}
+
+// RegisterMetrics files the log's metric families with the registry.
+func (l *Log) RegisterMetrics(r *obs.Registry) {
+	r.RegisterHistogram("indep_wal_write_duration_seconds",
+		"write(2) latency per flushed commit group", 1e-9, &l.writeLat)
+	r.RegisterHistogram("indep_wal_fsync_duration_seconds",
+		"fsync latency per commit group", 1e-9, &l.fsyncLat)
+	r.RegisterHistogram("indep_wal_commit_group_records",
+		"records coalesced into one commit group", 1, &l.groupRecs)
+	r.CounterFunc("indep_wal_records_total",
+		"records appended to the log", func() uint64 { return l.Stats().Records })
+	r.CounterFunc("indep_wal_syncs_total",
+		"fsync calls issued", func() uint64 { return l.Stats().Syncs })
+	r.CounterFunc("indep_wal_commit_groups_total",
+		"write groups drained by the writer", func() uint64 { return l.Stats().CommitGroups })
+	r.GaugeFunc("indep_wal_segments",
+		"segments on disk, including active", func() float64 { return float64(l.Stats().Segments) })
+	r.GaugeFunc("indep_wal_live_bytes",
+		"bytes across all live segments: the replay debt", func() float64 { return float64(l.Stats().TotalBytes) })
 }
 
 // OpenLog opens the log for appending, starting a fresh segment after the
@@ -420,7 +456,9 @@ func (l *Log) process(batch []queued) {
 		if len(pend) == 0 {
 			return nil
 		}
+		start := time.Now()
 		n, err := l.f.Write(pend)
+		l.writeLat.ObserveSince(start)
 		l.offset += int64(n)
 		wrote += int64(n)
 		pend = pend[:0]
@@ -431,9 +469,11 @@ func (l *Log) process(batch []queued) {
 			return err
 		}
 		if l.opts.Sync == SyncAlways || forceSync {
+			start := time.Now()
 			if err := l.f.Sync(); err != nil {
 				return err
 			}
+			l.fsyncLat.ObserveSince(start)
 			l.mu.Lock()
 			l.stats.Syncs++
 			l.mu.Unlock()
@@ -488,6 +528,9 @@ func (l *Log) process(batch []queued) {
 		return
 	}
 
+	if appends > 0 {
+		l.groupRecs.Observe(int64(appends))
+	}
 	l.mu.Lock()
 	l.stats.Records += appends
 	l.stats.CommitGroups++

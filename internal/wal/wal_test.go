@@ -380,7 +380,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			{{5}},
 		},
 	}
-	if err := WriteCheckpoint(dir, ck); err != nil {
+	if _, err := WriteCheckpoint(dir, ck); err != nil {
 		t.Fatal(err)
 	}
 	got, err := LatestCheckpoint(dir)
@@ -403,11 +403,11 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 	// A newer but corrupt checkpoint falls back to the older good one.
 	bad := &Checkpoint{Seq: 9}
-	if err := WriteCheckpoint(dir, bad); err != nil {
+	if _, err := WriteCheckpoint(dir, bad); err != nil {
 		t.Fatal(err)
 	}
 	// Re-write the good one (WriteCheckpoint GCs others, so put both back).
-	if err := WriteCheckpoint(dir, ck); err != nil {
+	if _, err := WriteCheckpoint(dir, ck); err != nil {
 		t.Fatal(err)
 	}
 	data := bad.encode()

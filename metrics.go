@@ -1,0 +1,34 @@
+package indep
+
+import (
+	"context"
+
+	"indep/internal/obs"
+)
+
+// MetricsRegistry aliases the internal telemetry registry so callers
+// outside the module can construct one, hand it to RegisterMetrics, and
+// serve its Prometheus exposition (WriteTo / Expose).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metric registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// HistSnapshot aliases the internal histogram snapshot type, so accessors
+// like DurableStore.WALLatency can hand quantile-capable snapshots to
+// callers outside the module.
+type HistSnapshot = obs.HistSnapshot
+
+// NewTraceID returns a fresh 16-hex-character request trace ID.
+func NewTraceID() string { return obs.NewTraceID() }
+
+// WithTrace attaches a trace ID to the context. Mutations and queries made
+// through the *Ctx store methods carry it into slow-operation records and a
+// durable store's fsync ack, so one grep over the structured log
+// reconstructs the request's full write path.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return obs.WithTrace(ctx, id)
+}
+
+// TraceID returns the context's trace ID, or "" when none was attached.
+func TraceID(ctx context.Context) string { return obs.Trace(ctx) }

@@ -1,6 +1,7 @@
 package indep
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,11 +76,17 @@ func (cs *ConcurrentStore) Window(attrs ...string) (*WindowResult, error) {
 // exhaust the chase budget (test with Overloaded). Plans are cached per
 // attribute set, so repeated windows skip plan compilation.
 func (cs *ConcurrentStore) Query(q WindowQuery) (*WindowResult, error) {
+	return cs.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query with the context's trace ID attached to any slow-query
+// log record.
+func (cs *ConcurrentStore) QueryCtx(ctx context.Context, q WindowQuery) (*WindowResult, error) {
 	x, err := cs.schema.attrSet(q.Attrs)
 	if err != nil {
 		return nil, err
 	}
-	res, st, err := cs.eng.Window(x)
+	res, st, err := cs.eng.WindowCtx(ctx, x)
 	if err != nil {
 		return nil, err
 	}
