@@ -7,7 +7,9 @@
 //	indep analyze -file design.txt
 //	indep closure -schema ... -fds ... -of 'C H'
 //	indep acyclic -schema ...
-//	indep query -schema ... -fds ... -rows data.txt -of 'C T' [-where 'C=cs101'] [-limit 10]
+//	indep query -schema ... -fds ... -rows data.txt -of 'C T' [-where 'C=cs101'] [-limit 10] [-explain]
+//	indep trace -url http://localhost:8080 -recent [-min 5ms] [-route 'POST /v1/tuple'] [-limit 10]
+//	indep trace -url http://localhost:8080 -id 4bf92f3577b34da6
 //
 // The file format for -file has one declaration per line; lines starting
 // with '#' are comments:
@@ -24,13 +26,23 @@
 //
 //	CT(cs101, jones)
 //	CS(cs101, smith)
+//
+// trace talks to a running indepd's flight recorder (/debug/trace): -recent
+// lists retained traces newest first, -id fetches one span tree by its
+// 16-hex trace ID (the X-Indep-Trace response header of the request).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"indep"
 )
@@ -40,6 +52,10 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "trace" { // needs a daemon URL, not a schema
+		runTrace(os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	schemaSrc := fs.String("schema", "", "schema declaration, e.g. 'R1(A,B); R2(B,C)'")
 	fdSrc := fs.String("fds", "", "functional dependencies, e.g. 'A -> B; B -> C'")
@@ -48,6 +64,7 @@ func main() {
 	rows := fs.String("rows", "", "query: tuple file, one 'Rel(v1,v2,...)' per line")
 	where := fs.String("where", "", "query: equality selections, e.g. 'C=cs101; T=jones'")
 	limit := fs.Int("limit", 0, "query: cap the number of returned rows (0 = all)")
+	explain := fs.Bool("explain", false, "query: print the executed plan (mode, plan cache, per-relation scans)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -108,7 +125,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		q := indep.WindowQuery{Attrs: attrs, Limit: *limit}
+		q := indep.WindowQuery{Attrs: attrs, Limit: *limit, Explain: *explain}
 		if *where != "" {
 			q.Where = make(map[string]string)
 			for _, cond := range strings.FieldsFunc(*where, func(r rune) bool { return r == ';' }) {
@@ -141,8 +158,150 @@ func main() {
 			}
 			fmt.Println(strings.Join(vals, "\t"))
 		}
+		if res.Explain != nil {
+			printExplain(res.Explain)
+		}
 	default:
 		usage()
+	}
+}
+
+// printExplain renders a window query's executed plan.
+func printExplain(ex *indep.WindowExplain) {
+	fmt.Printf("explain:\n  mode:        %s\n  plan cached: %v\n", ex.Mode, ex.PlanCached)
+	for _, rs := range ex.Relations {
+		fmt.Printf("  scan:        %s (%d rows)\n", rs.Relation, rs.Rows)
+	}
+	if len(ex.Pruned) > 0 {
+		fmt.Printf("  pruned:      %s\n", strings.Join(ex.Pruned, " "))
+	}
+}
+
+// runTrace implements the trace subcommand: fetch retained traces from a
+// running indepd's flight recorder and render their span trees.
+func runTrace(argv []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	base := fs.String("url", "http://localhost:8080", "base URL of a running indepd")
+	id := fs.String("id", "", "fetch one trace by its 16-hex ID")
+	recent := fs.Bool("recent", false, "list retained traces, newest first")
+	minDur := fs.Duration("min", 0, "recent: only traces at least this slow")
+	route := fs.String("route", "", "recent: only traces for this route, e.g. 'POST /v1/tuple'")
+	limit := fs.Int("limit", 0, "recent: cap the number of listed traces (0 = server default)")
+	if err := fs.Parse(argv); err != nil {
+		os.Exit(2)
+	}
+	switch {
+	case *id != "":
+		var tv indep.TraceView
+		if err := fetchJSON(*base+"/debug/trace/"+url.PathEscape(*id), &tv); err != nil {
+			fatal(err)
+		}
+		printTrace(tv)
+	case *recent:
+		q := url.Values{}
+		if *minDur > 0 {
+			q.Set("min_ms", fmt.Sprintf("%g", float64(*minDur)/float64(time.Millisecond)))
+		}
+		if *route != "" {
+			q.Set("route", *route)
+		}
+		if *limit > 0 {
+			q.Set("limit", fmt.Sprint(*limit))
+		}
+		u := *base + "/debug/trace/recent"
+		if len(q) > 0 {
+			u += "?" + q.Encode()
+		}
+		var body struct {
+			Count  int               `json:"count"`
+			Traces []indep.TraceView `json:"traces"`
+		}
+		if err := fetchJSON(u, &body); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d retained trace(s)\n", body.Count)
+		for i, tv := range body.Traces {
+			if i > 0 {
+				fmt.Println()
+			}
+			printTrace(tv)
+		}
+	default:
+		fatal(fmt.Errorf("trace needs -id or -recent"))
+	}
+}
+
+// fetchJSON GETs a URL and decodes its JSON body into out. Non-200 responses
+// become errors carrying the server's message.
+func fetchJSON(u string, out any) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(body))
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return fmt.Errorf("GET %s: %s (%s)", u, msg, resp.Status)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// printTrace renders one trace as an indented span tree. Spans reference
+// their parent by index, so children are grouped and walked depth-first in
+// start order.
+func printTrace(tv indep.TraceView) {
+	fmt.Printf("trace %s  %s  status=%d  %s  kept=%s",
+		tv.ID, tv.Route, tv.Status,
+		time.Duration(tv.DurationNs).Round(time.Microsecond), tv.Reason)
+	if tv.DroppedSpans > 0 {
+		fmt.Printf("  dropped_spans=%d", tv.DroppedSpans)
+	}
+	fmt.Println()
+	children := make([][]int, len(tv.Spans))
+	roots := []int{}
+	for i, sp := range tv.Spans {
+		if sp.Parent >= 0 && sp.Parent < len(tv.Spans) {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return tv.Spans[idx[a]].StartNs < tv.Spans[idx[b]].StartNs })
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := tv.Spans[i]
+		attrs := make([]string, len(sp.Attrs))
+		for j, a := range sp.Attrs {
+			attrs[j] = fmt.Sprintf("%s=%v", a.Key, a.Value)
+		}
+		line := fmt.Sprintf("%s%s  %s", strings.Repeat("  ", depth+1), sp.Name,
+			time.Duration(sp.DurationNs).Round(time.Microsecond))
+		if len(attrs) > 0 {
+			line += "  {" + strings.Join(attrs, " ") + "}"
+		}
+		fmt.Println(line)
+		kids := children[i]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	byStart(roots)
+	for _, r := range roots {
+		walk(r, 0)
 	}
 }
 
@@ -196,6 +355,8 @@ func usage() {
   indep analyze -file design.txt
   indep closure -schema '...' -fds '...' -of 'A B'
   indep acyclic -schema '...'
-  indep query -schema '...' -fds '...' -rows data.txt -of 'A B' [-where 'A=v'] [-limit n]`)
+  indep query -schema '...' -fds '...' -rows data.txt -of 'A B' [-where 'A=v'] [-limit n] [-explain]
+  indep trace -url http://host:8080 -recent [-min 5ms] [-route 'POST /v1/tuple'] [-limit n]
+  indep trace -url http://host:8080 -id <16-hex trace id>`)
 	os.Exit(2)
 }

@@ -36,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -184,6 +185,13 @@ type benchReport struct {
 	// and per window query respectively.
 	WriteBatchLat *latQuantiles `json:"writeBatchLatencyNs,omitempty"`
 	ReadLat       *latQuantiles `json:"readLatencyNs,omitempty"`
+	// Span-overhead probe (engine mode): the same duplicate single-tuple
+	// insert timed untraced (nil span, the pay-nothing path) and traced
+	// (recorder root span per op, arena pooled, sampled out). The delta is
+	// what a flight-recorder-sampled request pays per store call.
+	UntracedInsertNsPerOp float64 `json:"untracedInsertNsPerOp,omitempty"`
+	TracedInsertNsPerOp   float64 `json:"tracedInsertNsPerOp,omitempty"`
+	SpanOverheadNsPerOp   float64 `json:"spanOverheadNsPerOp,omitempty"`
 }
 
 // latQuantiles renders a latency histogram snapshot for the JSON report.
@@ -305,6 +313,46 @@ func openBenchStore(sch *indep.Schema, cfg engineConfig) (store *indep.Concurren
 	return ds.ConcurrentStore, ds, mode, cleanup, nil
 }
 
+// measureSpanOverhead times one duplicate single-tuple insert both untraced
+// (spanless context — the pay-nothing path every unsampled request takes)
+// and traced (a recorder root span opened and finished around each insert,
+// the shape the daemon's middleware produces). A duplicate insert isolates
+// the hot guard/commit path without growing the store between runs. The
+// recorder samples everything out, so the traced loop also exercises the
+// steady-state arena pooling.
+func measureSpanOverhead(store *indep.ConcurrentStore, sch *indep.Schema, rels []string) (untracedNs, tracedNs float64, err error) {
+	const iters = 50000
+	rel := rels[0]
+	row, err := rowFor(sch, rel, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx := context.Background()
+	if err := store.InsertCtx(ctx, rel, row); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := store.InsertCtx(ctx, rel, row); err != nil {
+			return 0, 0, err
+		}
+	}
+	untracedNs = float64(time.Since(start).Nanoseconds()) / iters
+
+	rec := indep.NewTraceRecorder(indep.TraceRecorderOptions{Capacity: 8, Slow: -1, SampleEvery: 1 << 30})
+	id := indep.NewTraceID()
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		tr, root := rec.Start(id, "POST /insert")
+		if err := store.InsertCtx(indep.ContextWithSpan(ctx, root), rel, row); err != nil {
+			return 0, 0, err
+		}
+		rec.Finish(tr, 200)
+	}
+	tracedNs = float64(time.Since(start).Nanoseconds()) / iters
+	return untracedNs, tracedNs, nil
+}
+
 func runEngine(cfg engineConfig) error {
 	sch, err := buildWorkloadSchema(cfg)
 	if err != nil {
@@ -375,6 +423,10 @@ func runEngine(cfg engineConfig) error {
 	elapsed := time.Since(start)
 	total := starts[cfg.workers]
 	allocsPerOp, bytesPerOp := probe.perOp(int64(total))
+	untracedNs, tracedNs, err := measureSpanOverhead(store, sch, rels)
+	if err != nil {
+		return err
+	}
 	if cfg.jsonOut {
 		return emitJSON(benchReport{
 			Mode: "engine", Shape: cfg.shape, Schemes: len(rels), Attrs: cfg.attrs,
@@ -386,8 +438,11 @@ func runEngine(cfg engineConfig) error {
 				float64(max(total, 1)),
 			MeasuredOps: int64(total),
 			AllocsPerOp: allocsPerOp, BytesPerOp: bytesPerOp,
-			ElapsedNs:     elapsed.Nanoseconds(),
-			WriteBatchLat: latFromSnapshot(writeLat.Snapshot()),
+			ElapsedNs:             elapsed.Nanoseconds(),
+			WriteBatchLat:         latFromSnapshot(writeLat.Snapshot()),
+			UntracedInsertNsPerOp: untracedNs,
+			TracedInsertNsPerOp:   tracedNs,
+			SpanOverheadNsPerOp:   tracedNs - untracedNs,
 		})
 	}
 	fmt.Printf("inserted %d tuples in %v (%.0f tuples/s) batch=%d workers=%d rows=%d (%.1f allocs/op, %.0f B/op)\n",
@@ -398,6 +453,8 @@ func runEngine(cfg engineConfig) error {
 			time.Duration(bl.P50Ns), time.Duration(bl.P90Ns),
 			time.Duration(bl.P99Ns), time.Duration(bl.P999Ns), bl.Count)
 	}
+	fmt.Printf("span overhead: untraced insert %.0f ns/op, traced %.0f ns/op (+%.0f ns)\n",
+		untracedNs, tracedNs, tracedNs-untracedNs)
 
 	fmt.Printf("%-10s %10s %10s %10s %12s %12s\n", "relation", "tuples", "inserts", "rejects", "p50", "p99")
 	for _, st := range store.Stats() {

@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"indep"
+	"indep/internal/obs"
 )
 
 func main() {
@@ -80,6 +81,8 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn, or error")
 	slow := flag.Duration("slow", 100*time.Millisecond, "log operations and commits at or above this duration (0 disables)")
+	traceRing := flag.Int("trace-ring", obs.DefaultRingCapacity, "flight-recorder capacity in traces (rounded up to a power of two)")
+	traceSample := flag.Int("trace-sample", obs.DefaultSampleEvery, "retain 1 in N unremarkable traces (slow, errored, and rejected requests are always kept; 1 keeps everything)")
 	flag.Parse()
 
 	var lvl slog.Level
@@ -107,7 +110,11 @@ func main() {
 	// a large write-ahead log replays, and an orchestrator must be able to
 	// tell "starting" from "dead". Store-backed routes answer 503 until the
 	// store is installed.
-	s := newServer(sch, logger, *pprofOn)
+	s := newServer(sch, logger, *pprofOn, obs.RecorderOptions{
+		Capacity:    *traceRing,
+		SampleEvery: *traceSample,
+		Slow:        *slow,
+	})
 	srv := &http.Server{
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -190,13 +197,17 @@ type server struct {
 	ready   atomic.Bool
 	store   *indep.ConcurrentStore
 	durable *indep.DurableStore
+
+	// rec is the always-on flight recorder; API requests run under its
+	// root spans and /debug/trace serves what it retained.
+	rec *obs.Recorder
 }
 
 // newServer builds the daemon's handler; split from main so tests can mount
 // it on httptest. Every API route is mounted bare and under /v1/ so clients
 // can pin the versioned path. The handler works before install: probe and
 // metrics routes answer immediately, store routes 503.
-func newServer(sch *indep.Schema, logger *slog.Logger, pprofOn bool) *server {
+func newServer(sch *indep.Schema, logger *slog.Logger, pprofOn bool, rec obs.RecorderOptions) *server {
 	reg := indep.NewMetricsRegistry()
 	s := &server{
 		sch:  sch,
@@ -204,7 +215,9 @@ func newServer(sch *indep.Schema, logger *slog.Logger, pprofOn bool) *server {
 		reg:  reg,
 		http: newHTTPStats(reg),
 		mux:  http.NewServeMux(),
+		rec:  obs.NewRecorder(rec),
 	}
+	s.rec.Register(reg)
 	handle := func(pattern string, h http.HandlerFunc) {
 		method, path, ok := strings.Cut(pattern, " ")
 		if !ok {
@@ -225,6 +238,11 @@ func newServer(sch *indep.Schema, logger *slog.Logger, pprofOn bool) *server {
 	// Probe and scrape routes bypass the readiness gate and log at Debug:
 	// a kubelet hitting /healthz every few seconds must not fill the log.
 	s.mux.HandleFunc("GET /metrics", s.wrapAt(slog.LevelDebug, "GET /metrics", s.handleMetrics))
+	// Flight-recorder reads are Debug-level and untraced: reading traces
+	// must not evict traces. The literal /recent route wins over the {id}
+	// wildcard by ServeMux precedence.
+	s.mux.HandleFunc("GET /debug/trace/recent", s.wrapAt(slog.LevelDebug, "GET /debug/trace/recent", s.handleTraceRecent))
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.wrapAt(slog.LevelDebug, "GET /debug/trace/{id}", s.handleTraceGet))
 	s.mux.HandleFunc("GET /healthz", s.wrapAt(slog.LevelDebug, "GET /healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.wrapAt(slog.LevelDebug, "GET /readyz", s.handleReadyz))
 	if pprofOn {
@@ -399,6 +417,13 @@ func parseWindowQuery(vals url.Values) (indep.WindowQuery, error) {
 		}
 		q.Limit = n
 	}
+	if e := vals.Get("explain"); e != "" {
+		b, err := strconv.ParseBool(e)
+		if err != nil {
+			return q, fmt.Errorf("bad explain parameter %q (want a boolean, e.g. explain=1)", e)
+		}
+		q.Explain = b
+	}
 	return q, nil
 }
 
@@ -418,7 +443,7 @@ func (s *server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	if rows == nil {
 		rows = []map[string]string{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"attrs":      res.Attrs,
 		"rows":       rows,
 		"rowCount":   len(rows),
@@ -426,6 +451,61 @@ func (s *server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		"fastPath":   res.FastPath,
 		"planCached": res.PlanCached,
 		"elapsedNs":  time.Since(start).Nanoseconds(),
+	}
+	if res.Explain != nil {
+		body["explain"] = res.Explain
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleTraceGet serves one retained trace by ID. 404 means the ID was
+// never retained (tail sampling dropped it) or has been evicted from the
+// ring — not that the request never happened.
+func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := strings.ToLower(r.PathValue("id"))
+	if !indep.ValidTraceID(id) {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "bad trace id (want 16 hex characters)"})
+		return
+	}
+	tv, ok := s.rec.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": "trace not retained (sampled out or evicted)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, tv)
+}
+
+// handleTraceRecent lists retained traces, newest first:
+//
+//	min_ms=50          only traces lasting at least 50ms
+//	route=POST /insert only traces of that route
+//	limit=20           cap the listing (default 50)
+func (s *server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	vals := r.URL.Query()
+	var minDur time.Duration
+	if m := vals.Get("min_ms"); m != "" {
+		ms, err := strconv.ParseFloat(m, 64)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad min_ms parameter %q", m)})
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	limit := 50
+	if l := vals.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad limit parameter %q", l)})
+			return
+		}
+		limit = n
+	}
+	traces := s.rec.Recent(minDur, vals.Get("route"), limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":  len(traces),
+		"traces": traces,
 	})
 }
 

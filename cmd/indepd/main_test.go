@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"indep"
+	"indep/internal/obs"
 )
 
 func discardLogger() *slog.Logger {
@@ -27,7 +28,7 @@ func newTestServer(t *testing.T, schemaSrc, fdSrc string) (*httptest.Server, *in
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(sch, discardLogger(), false)
+	s := newServer(sch, discardLogger(), false, obs.RecorderOptions{SampleEvery: 1})
 	s.install(store, nil, 0)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
@@ -46,7 +47,7 @@ func newDurableTestServer(t *testing.T, dir, schemaSrc, fdSrc string) (*httptest
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	s := newServer(sch, discardLogger(), false)
+	s := newServer(sch, discardLogger(), false, obs.RecorderOptions{SampleEvery: 1})
 	s.install(store.ConcurrentStore, store, 0)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)

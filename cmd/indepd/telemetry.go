@@ -3,6 +3,7 @@ package main
 import (
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -98,9 +99,25 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // traceHeader is the request/response header carrying the trace ID. A
-// client-supplied ID is honored (so a gateway can stitch its own logs to
-// the daemon's); otherwise one is minted. The response always echoes it.
+// well-formed client-supplied ID (16 hex characters; uppercase accepted and
+// normalized) is honored, so a gateway can stitch its own logs to the
+// daemon's; anything else is replaced by a minted ID — trace IDs label
+// metrics, logs, and the flight recorder, so hostile or sloppy clients must
+// not be able to inject unbounded junk. The response always echoes the ID
+// actually used.
 const traceHeader = "X-Indep-Trace"
+
+// requestTraceID resolves the trace ID for one request.
+func requestTraceID(r *http.Request) string {
+	trace := r.Header.Get(traceHeader)
+	if trace != "" {
+		trace = strings.ToLower(trace)
+		if obs.ValidTraceID(trace) {
+			return trace
+		}
+	}
+	return obs.NewTraceID()
+}
 
 // wrap is the access-log and metrics middleware, applied per route so the
 // log and the metric labels carry the registered pattern rather than the
@@ -111,23 +128,44 @@ func (s *server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 
 // wrapAt is wrap with an explicit access-log level; probe and scrape
 // routes log at Debug so periodic health checks don't fill the log.
+//
+// Info-level (API) routes additionally run under the flight recorder: the
+// middleware opens the request's root span, handlers grow the span tree
+// through the store and engine, and on completion the recorder decides —
+// tail-based — whether the trace is worth keeping. Debug-level routes
+// (probes, scrapes, the /debug/trace endpoints themselves) are never
+// traced, so a kubelet can't flood the sampler.
 func (s *server) wrapAt(level slog.Level, route string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.http.routeHist(route)
+	traced := level >= slog.LevelInfo
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		trace := r.Header.Get(traceHeader)
-		if trace == "" {
-			trace = obs.NewTraceID()
-		}
+		trace := requestTraceID(r)
 		w.Header().Set(traceHeader, trace)
+		ctx := obs.WithTrace(r.Context(), trace)
+		var tr *obs.RequestTrace
+		if traced {
+			var root *obs.Span
+			tr, root = s.rec.Start(trace, route)
+			if root.Recording() {
+				root.SetAttr("method", r.Method)
+				ctx = obs.ContextWithSpan(ctx, root)
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		s.http.inflight.Add(1)
-		h(sw, r.WithContext(obs.WithTrace(r.Context(), trace)))
+		h(sw, r.WithContext(ctx))
 		s.http.inflight.Add(-1)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
 		d := time.Since(start)
+		if tr != nil {
+			root := tr.Root()
+			root.SetInt("status", int64(sw.status))
+			root.SetInt("resp_bytes", sw.bytes)
+			s.rec.Finish(tr, sw.status)
+		}
 		s.http.note(route, r.Method, sw.status, d, hist)
 		s.log.Log(r.Context(), level, "request",
 			"trace", trace,

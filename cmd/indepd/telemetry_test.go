@@ -178,7 +178,7 @@ func TestReadinessGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(sch, discardLogger(), false)
+	s := newServer(sch, discardLogger(), false, obs.RecorderOptions{SampleEvery: 1})
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 
@@ -226,7 +226,7 @@ func TestTraceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	s := newServer(sch, logger, false)
+	s := newServer(sch, logger, false, obs.RecorderOptions{SampleEvery: 1})
 	s.install(store.ConcurrentStore, store, 0)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
@@ -284,7 +284,7 @@ func TestPprofGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, on := range []bool{false, true} {
-		s := newServer(sch, discardLogger(), on)
+		s := newServer(sch, discardLogger(), on, obs.RecorderOptions{SampleEvery: 1})
 		ts := httptest.NewServer(s)
 		resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
 		if err != nil {

@@ -57,6 +57,11 @@ func (cs *ConcurrentStore) Insert(rel string, row map[string]string) error {
 // to the mutation, so a durable store's fsync ack and any slow-operation
 // record carry the same ID as the caller's access log.
 func (cs *ConcurrentStore) InsertCtx(ctx context.Context, rel string, row map[string]string) error {
+	ctx, sp := obs.StartSpan(ctx, "store.insert")
+	if sp.Recording() {
+		sp.SetAttr("relation", rel)
+	}
+	defer sp.End()
 	i, t, err := rowTuple(cs.schema.s, cs.eng.Dict().Value, rel, row)
 	if err != nil {
 		return err
@@ -75,6 +80,11 @@ func (cs *ConcurrentStore) Delete(rel string, row map[string]string) (bool, erro
 
 // DeleteCtx is Delete with the context's trace ID attached to the mutation.
 func (cs *ConcurrentStore) DeleteCtx(ctx context.Context, rel string, row map[string]string) (bool, error) {
+	ctx, sp := obs.StartSpan(ctx, "store.delete")
+	if sp.Recording() {
+		sp.SetAttr("relation", rel)
+	}
+	defer sp.End()
 	missing := false
 	lookup := func(name string) relation.Value {
 		v, ok := cs.eng.Dict().Lookup(name)
@@ -112,6 +122,11 @@ func (cs *ConcurrentStore) InsertBatch(ops []BatchOp) error {
 // InsertBatchCtx is InsertBatch with the context's trace ID attached to the
 // commit.
 func (cs *ConcurrentStore) InsertBatchCtx(ctx context.Context, ops []BatchOp) error {
+	ctx, sp := obs.StartSpan(ctx, "store.batch")
+	if sp.Recording() {
+		sp.SetInt("ops", int64(len(ops)))
+	}
+	defer sp.End()
 	eops := make([]engine.Op, len(ops))
 	for k, op := range ops {
 		i, t, err := rowTuple(cs.schema.s, cs.eng.Dict().Value, op.Rel, op.Row)

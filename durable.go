@@ -237,12 +237,30 @@ func (s *Schema) OpenDurableStore(dir string, opts DurableOptions) (*DurableStor
 			}
 			recs = []wal.Record{wal.Batch(ops)}
 		}
+		// On a traced request c.Span is the engine-operation span; the WAL
+		// append and the fsync ack become its children, so the trace shows
+		// where a durable write's time went. All span calls are nil-safe,
+		// so untraced commits pay nothing here.
+		asp := c.Span.StartChild("wal.append")
 		t := log.Append(recs...)
+		if asp.Recording() {
+			asp.SetInt("records", int64(len(recs)))
+			asp.SetInt("wal_bytes", int64(t.Bytes()))
+		}
+		asp.End()
 		trace, nops := c.Trace, len(c.Ops)
+		fsp := c.Span.StartChild("wal.fsync")
 		start := time.Now()
 		return func() error {
 			err := t.Wait()
 			d := time.Since(start)
+			if fsp.Recording() {
+				fsp.SetInt("wait_ns", d.Nanoseconds())
+				if err != nil {
+					fsp.SetAttr("error", err.Error())
+				}
+			}
+			fsp.End()
 			ds.commitWait.Observe(int64(d))
 			ds.noteCommit(trace, nops, d, err)
 			if err != nil {

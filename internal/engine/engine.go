@@ -44,11 +44,16 @@ type Op struct {
 // changed the state (duplicates and no-op deletes are excluded), and
 // whether they were deletions. Trace carries the request trace ID that
 // caused the mutation ("" when none) so the durability layer can tag its
-// fsync ack with the same ID the HTTP access log printed.
+// fsync ack with the same ID the HTTP access log printed. Span, when
+// non-nil, is the request's engine-operation span; the durability layer
+// hangs its WAL append and fsync-ack child spans off it so a traced insert
+// shows its full write path (every *obs.Span method is nil-safe, so hooks
+// may use it unconditionally).
 type Commit struct {
 	Ops    []Op
 	Delete bool
 	Trace  string
+	Span   *obs.Span
 }
 
 // CommitHook observes every successful mutation. It is invoked while the
@@ -212,13 +217,13 @@ func (e *Engine) commit(c Commit) func() error {
 func (e *Engine) Apply(c Commit) error {
 	if c.Delete {
 		for _, op := range c.Ops {
-			if _, err := e.delete(op.Scheme, op.Tuple, c.Trace); err != nil {
+			if _, err := e.delete(context.Background(), op.Scheme, op.Tuple, c.Trace); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return e.insertBatch(c.Ops, c.Trace)
+	return e.insertBatch(context.Background(), c.Ops, c.Trace)
 }
 
 // checkOp validates addressing and arity up front so the maintainers can
@@ -237,19 +242,25 @@ func (e *Engine) checkOp(scheme int, t relation.Tuple) error {
 // Insert validates and adds one tuple. A rejected insert leaves the state
 // unchanged and returns an error wrapping maintenance.ErrViolation.
 func (e *Engine) Insert(scheme int, t relation.Tuple) error {
-	return e.insert(scheme, t, "")
+	return e.insert(context.Background(), scheme, t, "")
 }
 
 // InsertCtx is Insert with the context's trace ID attached to the commit, so
 // the durability layer and the slow-op log can tie the mutation back to its
-// originating request.
+// originating request. When the context carries an active span (a sampled
+// request), the operation records an engine.insert span with lock-wait and
+// validation children.
 func (e *Engine) InsertCtx(ctx context.Context, scheme int, t relation.Tuple) error {
-	return e.insert(scheme, t, obs.Trace(ctx))
+	return e.insert(ctx, scheme, t, obs.Trace(ctx))
 }
 
-func (e *Engine) insert(scheme int, t relation.Tuple, trace string) error {
+func (e *Engine) insert(ctx context.Context, scheme int, t relation.Tuple, trace string) error {
 	if err := e.checkOp(scheme, t); err != nil {
 		return err
+	}
+	sp := obs.SpanFrom(ctx).StartChild("engine.insert")
+	if sp.Recording() {
+		sp.SetAttr("relation", e.s.Name(scheme))
 	}
 	sh := &e.shards[scheme]
 	start := time.Now()
@@ -258,15 +269,25 @@ func (e *Engine) insert(scheme int, t relation.Tuple, trace string) error {
 	var wait func() error
 	if e.fast {
 		sh.mu.Lock()
+		if sp.Recording() {
+			sp.SetInt("lock_wait_ns", time.Since(start).Nanoseconds())
+		}
+		vsp := sp.StartChild("guard.validate")
 		added, err = e.guard.InsertReport(scheme, t)
+		vsp.End()
 		if added && err == nil {
-			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Trace: trace})
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Trace: trace, Span: sp})
 		}
 	} else {
 		e.mu.Lock()
+		if sp.Recording() {
+			sp.SetInt("lock_wait_ns", time.Since(start).Nanoseconds())
+		}
+		vsp := e.startChaseSpan(sp)
 		added, err = e.chase.InsertReport(scheme, t)
+		e.endChaseSpan(vsp)
 		if added && err == nil {
-			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Trace: trace})
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Trace: trace, Span: sp})
 		}
 		e.mu.Unlock()
 		sh.mu.Lock()
@@ -274,6 +295,7 @@ func (e *Engine) insert(scheme int, t relation.Tuple, trace string) error {
 	d := time.Since(start)
 	sh.note(added, false, err, d)
 	sh.mu.Unlock()
+	e.endOpSpan(sp, added, err)
 	if e.slowHit(d) {
 		e.noteSlow("insert", e.s.Name(scheme), trace, d, err)
 	}
@@ -285,20 +307,77 @@ func (e *Engine) insert(scheme int, t relation.Tuple, trace string) error {
 	return err
 }
 
+// endOpSpan stamps a mutation span's outcome and closes it. An accepted
+// mutation invalidates the cached query snapshot — worth surfacing, since
+// the next window query pays a fresh snapshot cut for it.
+func (e *Engine) endOpSpan(sp *obs.Span, changed bool, err error) {
+	if sp.Recording() {
+		switch {
+		case err != nil:
+			sp.SetAttr("outcome", "rejected")
+		case !changed:
+			sp.SetAttr("outcome", "noop")
+		default:
+			sp.SetAttr("outcome", "ok")
+			sp.SetInt("snapshot_invalidated", 1)
+		}
+	}
+	sp.End()
+}
+
+// chaseSpan carries a chase.validate span together with the chase telemetry
+// counters read when it opened, so closing it can attribute the counter
+// delta to this one validation.
+type chaseSpan struct {
+	sp              *obs.Span
+	rounds0, union0 uint64
+}
+
+// startChaseSpan opens a chase.validate child and snapshots the engine's
+// chase telemetry (which rides in chase.Caps into every maintainer run).
+// Callers hold e.mu, which serializes every chase, so the counter delta is
+// exactly this validation's work. Pays nothing when the parent is not
+// recording.
+func (e *Engine) startChaseSpan(parent *obs.Span) chaseSpan {
+	if !parent.Recording() {
+		return chaseSpan{}
+	}
+	return chaseSpan{
+		sp:      parent.StartChild("chase.validate"),
+		rounds0: e.chaseMet.FDRounds.Value(),
+		union0:  e.chaseMet.Unions.Value(),
+	}
+}
+
+// endChaseSpan records the chase-round and union deltas and closes the
+// span; callers still hold e.mu.
+func (e *Engine) endChaseSpan(c chaseSpan) {
+	if !c.sp.Recording() {
+		return
+	}
+	c.sp.SetInt("chase_fd_rounds", int64(e.chaseMet.FDRounds.Value()-c.rounds0))
+	c.sp.SetInt("chase_unions", int64(e.chaseMet.Unions.Value()-c.union0))
+	c.sp.End()
+}
+
 // Delete removes one tuple, reporting whether it was present. Deletions are
 // always admissible, so the only errors are malformed operations.
 func (e *Engine) Delete(scheme int, t relation.Tuple) (bool, error) {
-	return e.delete(scheme, t, "")
+	return e.delete(context.Background(), scheme, t, "")
 }
 
 // DeleteCtx is Delete with the context's trace ID attached to the commit.
 func (e *Engine) DeleteCtx(ctx context.Context, scheme int, t relation.Tuple) (bool, error) {
-	return e.delete(scheme, t, obs.Trace(ctx))
+	return e.delete(ctx, scheme, t, obs.Trace(ctx))
 }
 
-func (e *Engine) delete(scheme int, t relation.Tuple, trace string) (bool, error) {
+func (e *Engine) delete(ctx context.Context, scheme int, t relation.Tuple, trace string) (bool, error) {
 	if err := e.checkOp(scheme, t); err != nil {
 		return false, err
+	}
+	sp := obs.SpanFrom(ctx).StartChild("engine.delete")
+	if sp.Recording() {
+		sp.SetAttr("relation", e.s.Name(scheme))
 	}
 	sh := &e.shards[scheme]
 	start := time.Now()
@@ -307,15 +386,21 @@ func (e *Engine) delete(scheme int, t relation.Tuple, trace string) (bool, error
 	var wait func() error
 	if e.fast {
 		sh.mu.Lock()
+		if sp.Recording() {
+			sp.SetInt("lock_wait_ns", time.Since(start).Nanoseconds())
+		}
 		removed, err = e.guard.Delete(scheme, t)
 		if removed && err == nil {
-			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true, Trace: trace})
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true, Trace: trace, Span: sp})
 		}
 	} else {
 		e.mu.Lock()
+		if sp.Recording() {
+			sp.SetInt("lock_wait_ns", time.Since(start).Nanoseconds())
+		}
 		removed, err = e.chase.Delete(scheme, t)
 		if removed && err == nil {
-			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true, Trace: trace})
+			wait = e.commit(Commit{Ops: []Op{{Scheme: scheme, Tuple: t}}, Delete: true, Trace: trace, Span: sp})
 		}
 		e.mu.Unlock()
 		sh.mu.Lock()
@@ -325,6 +410,7 @@ func (e *Engine) delete(scheme int, t relation.Tuple, trace string) (bool, error
 		sh.note(false, removed, err, d)
 	}
 	sh.mu.Unlock()
+	e.endOpSpan(sp, removed, err)
 	if e.slowHit(d) {
 		e.noteSlow("delete", e.s.Name(scheme), trace, d, err)
 	}
@@ -350,16 +436,16 @@ const MaxBatchOps = 1 << 16
 // path the whole batch is validated with a single chase instead of one per
 // tuple. Batches are limited to MaxBatchOps tuples.
 func (e *Engine) InsertBatch(ops []Op) error {
-	return e.insertBatch(ops, "")
+	return e.insertBatch(context.Background(), ops, "")
 }
 
 // InsertBatchCtx is InsertBatch with the context's trace ID attached to the
 // commit.
 func (e *Engine) InsertBatchCtx(ctx context.Context, ops []Op) error {
-	return e.insertBatch(ops, obs.Trace(ctx))
+	return e.insertBatch(ctx, ops, obs.Trace(ctx))
 }
 
-func (e *Engine) insertBatch(ops []Op, trace string) error {
+func (e *Engine) insertBatch(ctx context.Context, ops []Op, trace string) error {
 	if len(ops) > MaxBatchOps {
 		return fmt.Errorf("engine: batch of %d ops exceeds limit %d", len(ops), MaxBatchOps)
 	}
@@ -371,10 +457,14 @@ func (e *Engine) insertBatch(ops []Op, trace string) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	if e.fast {
-		return e.batchFast(ops, trace)
+	sp := obs.SpanFrom(ctx).StartChild("engine.batch")
+	if sp.Recording() {
+		sp.SetInt("ops", int64(len(ops)))
 	}
-	return e.batchChase(ops, trace)
+	if e.fast {
+		return e.batchFast(ops, trace, sp)
+	}
+	return e.batchChase(ops, trace, sp)
 }
 
 // batchSchemes returns the distinct schemes of the batch in ascending order
@@ -392,12 +482,17 @@ func batchSchemes(ops []Op) []int {
 	return out
 }
 
-func (e *Engine) batchFast(ops []Op, trace string) error {
+func (e *Engine) batchFast(ops []Op, trace string, sp *obs.Span) error {
 	start := time.Now()
 	schemes := batchSchemes(ops)
 	for _, s := range schemes {
 		e.shards[s].mu.Lock()
 	}
+	if sp.Recording() {
+		sp.SetInt("relations", int64(len(schemes)))
+		sp.SetInt("lock_wait_ns", time.Since(start).Nanoseconds())
+	}
+	vsp := sp.StartChild("guard.validate")
 	added := make([]Op, 0, len(ops))
 	var err error
 	for _, op := range ops {
@@ -410,6 +505,7 @@ func (e *Engine) batchFast(ops []Op, trace string) error {
 			added = append(added, op)
 		}
 	}
+	vsp.End()
 	var wait func() error
 	if err != nil {
 		// Roll back in reverse; deletes cannot fail, so the state returns
@@ -418,13 +514,14 @@ func (e *Engine) batchFast(ops []Op, trace string) error {
 			e.guard.Delete(added[i].Scheme, added[i].Tuple)
 		}
 	} else if len(added) > 0 {
-		wait = e.commit(Commit{Ops: added, Trace: trace})
+		wait = e.commit(Commit{Ops: added, Trace: trace, Span: sp})
 	}
 	d := time.Since(start)
 	e.noteBatch(ops, added, schemes, err, d)
 	for _, s := range schemes {
 		e.shards[s].mu.Unlock()
 	}
+	e.endOpSpan(sp, len(added) > 0, err)
 	if e.slowHit(d) {
 		e.noteSlow("batch", fmt.Sprintf("%d ops", len(ops)), trace, d, err)
 	}
@@ -436,17 +533,22 @@ func (e *Engine) batchFast(ops []Op, trace string) error {
 	return err
 }
 
-func (e *Engine) batchChase(ops []Op, trace string) error {
+func (e *Engine) batchChase(ops []Op, trace string, sp *obs.Span) error {
 	start := time.Now()
 	extras := make([]chase.Extra, len(ops))
 	for i, op := range ops {
 		extras[i] = chase.Extra{Scheme: op.Scheme, Tuple: op.Tuple}
 	}
 	e.mu.Lock()
+	if sp.Recording() {
+		sp.SetInt("lock_wait_ns", time.Since(start).Nanoseconds())
+	}
 	// One trial chase validates the whole batch — no state clone; the
 	// maintainer pads the candidates onto its incremental engine (or, with
 	// a join dependency, onto a fresh padding of the live state).
+	vsp := e.startChaseSpan(sp)
 	freshExtras, err := e.chase.InsertBatchReport(extras)
+	e.endChaseSpan(vsp)
 	var added []Op
 	var wait func() error
 	if err == nil {
@@ -454,7 +556,7 @@ func (e *Engine) batchChase(ops []Op, trace string) error {
 			added = append(added, Op{Scheme: x.Scheme, Tuple: x.Tuple})
 		}
 		if len(added) > 0 {
-			wait = e.commit(Commit{Ops: added, Trace: trace})
+			wait = e.commit(Commit{Ops: added, Trace: trace, Span: sp})
 		}
 	}
 	e.mu.Unlock()
@@ -467,6 +569,7 @@ func (e *Engine) batchChase(ops []Op, trace string) error {
 	for _, s := range schemes {
 		e.shards[s].mu.Unlock()
 	}
+	e.endOpSpan(sp, len(added) > 0, err)
 	if e.slowHit(d) {
 		e.noteSlow("batch", fmt.Sprintf("%d ops", len(ops)), trace, d, err)
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"strings"
 	"time"
 
 	"indep/internal/attrset"
@@ -25,18 +26,26 @@ type cachedSnapshot struct {
 // Snapshot does) and cached. The returned state is shared: callers must
 // treat it as immutable.
 func (e *Engine) QuerySnapshot() *relation.State {
+	st, _, _ := e.querySnapshot()
+	return st
+}
+
+// querySnapshot is QuerySnapshot reporting whether the cached copy was
+// reused and which mutation version the returned state reflects — the
+// numbers window EXPLAIN surfaces.
+func (e *Engine) querySnapshot() (st *relation.State, reused bool, version uint64) {
 	if c := e.snapCache.Load(); c != nil && c.version == e.version.Load() {
 		e.snapReuses.Add(1)
-		return c.st
+		return c.st, true, c.version
 	}
 	e.snapCopies.Add(1)
 	var v uint64
-	st := e.SnapshotWith(func() { v = e.version.Load() })
+	st = e.SnapshotWith(func() { v = e.version.Load() })
 	// A concurrent QuerySnapshot may store a newer cut first and this store
 	// may regress the cache; that is harmless — the stale entry just fails
 	// the version check on the next call.
 	e.snapCache.Store(&cachedSnapshot{version: v, st: st})
-	return st
+	return st, false, v
 }
 
 // Evaluator returns the engine's window-query evaluator, built once from
@@ -68,18 +77,75 @@ func (e *Engine) Window(x attrset.Set) (*query.Result, *relation.State, error) {
 // log record; the query latency lands in the engine's window histogram
 // either way.
 func (e *Engine) WindowCtx(ctx context.Context, x attrset.Set) (*query.Result, *relation.State, error) {
+	res, st, _, err := e.WindowMetaCtx(ctx, x, false)
+	return res, st, err
+}
+
+// WindowMeta reports how one window evaluation was served. Explain is
+// non-nil when the caller asked for it (or the request is traced — a trace
+// *is* the explain output).
+type WindowMeta struct {
+	SnapshotReused bool   // served from the cached snapshot, no locks taken
+	Version        uint64 // mutation version the snapshot reflects
+	Explain        *query.Explain
+}
+
+// WindowMetaCtx is WindowCtx reporting snapshot reuse and, when explain is
+// set, the executed plan. When the context carries an active span the
+// evaluation records an engine.window span whose attributes are the explain
+// output: mode, plan-cache hit, snapshot reuse, consulted relations with
+// rows scanned, and pruned relations.
+func (e *Engine) WindowMetaCtx(ctx context.Context, x attrset.Set, explain bool) (*query.Result, *relation.State, WindowMeta, error) {
+	sp := obs.SpanFrom(ctx).StartChild("engine.window")
 	start := time.Now()
-	st := e.QuerySnapshot()
+	st, reused, version := e.querySnapshot()
 	res, err := e.evaluator().Window(st, x)
 	d := time.Since(start)
 	e.queryLat.Observe(int64(d))
+	meta := WindowMeta{SnapshotReused: reused, Version: version}
+	if err == nil && (explain || sp.Recording()) {
+		meta.Explain = e.evaluator().Explain(res, st)
+	}
+	if sp.Recording() {
+		sp.SetAttr("window", e.s.U.Format(x, " "))
+		sp.SetInt("snapshot_version", int64(version))
+		sp.SetInt("snapshot_reused", boolInt(reused))
+		if ex := meta.Explain; ex != nil {
+			sp.SetAttr("plan", ex.Mode)
+			sp.SetInt("plan_cached", boolInt(ex.PlanCached))
+			scanned := int64(0)
+			names := make([]string, len(ex.Relations))
+			for i, rs := range ex.Relations {
+				scanned += int64(rs.Rows)
+				names[i] = rs.Relation
+			}
+			sp.SetInt("rows_scanned", scanned)
+			sp.SetAttr("relations", strings.Join(names, " "))
+			if len(ex.Pruned) > 0 {
+				sp.SetAttr("pruned", strings.Join(ex.Pruned, " "))
+			}
+			sp.SetInt("rows", int64(res.Rows.Len()))
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+	}
+	sp.End()
 	if e.slowHit(d) {
 		e.noteSlow("window", e.s.U.Format(x, ""), obs.Trace(ctx), d, err)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, WindowMeta{}, err
 	}
-	return res, st, nil
+	return res, st, meta, nil
+}
+
+// boolInt renders a bool as a span attribute value.
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // QueryStats extends the evaluator's counters with the snapshot cache's.

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestValidTraceID(t *testing.T) {
+	valid := []string{"0123456789abcdef", "ffffffffffffffff", NewTraceID()}
+	for _, id := range valid {
+		if !ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{
+		"", "abc", "0123456789abcde", "0123456789abcdef0", // wrong length
+		"0123456789ABCDEF",    // uppercase not accepted (normalize first)
+		"0123456789abcdeg",    // non-hex
+		"0123456789 abcdef",   // embedded space
+		"..23456789abcdef",    // punctuation
+		"0123456789abcdef\n",  // trailing newline
+		"\x000123456789abcde", // control byte
+	}
+	for _, id := range invalid {
+		if ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestNilSpanIsInert(t *testing.T) {
+	var sp *Span
+	if sp.Recording() {
+		t.Fatal("nil span claims to be recording")
+	}
+	// None of these may panic.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.End()
+	if child := sp.StartChild("child"); child != nil {
+		t.Fatalf("nil span produced a child: %v", child)
+	}
+	ctx, got := StartSpan(context.Background(), "op")
+	if got != nil {
+		t.Fatalf("StartSpan on a spanless context returned %v, want nil", got)
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("spanless context acquired a span")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := newTrace(8)
+	root := tr.begin("0123456789abcdef", "POST /insert")
+	if !root.Recording() {
+		t.Fatal("root not recording")
+	}
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx, store := StartSpan(ctx, "store.insert")
+	store.SetAttr("relation", "CT")
+	_, eng := StartSpan(ctx, "engine.insert")
+	eng.SetInt("lock_wait_ns", 42)
+	eng.End()
+	eng.End() // idempotent
+	store.End()
+	tr.finish(200)
+
+	v := tr.View()
+	if v.ID != "0123456789abcdef" || v.Route != "POST /insert" || v.Status != 200 {
+		t.Fatalf("trace header: %+v", v)
+	}
+	if len(v.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(v.Spans))
+	}
+	if v.Spans[0].Parent != -1 || v.Spans[1].Parent != 0 || v.Spans[2].Parent != 1 {
+		t.Fatalf("parent links: %d %d %d", v.Spans[0].Parent, v.Spans[1].Parent, v.Spans[2].Parent)
+	}
+	if v.Spans[1].Name != "store.insert" || v.Spans[2].Name != "engine.insert" {
+		t.Fatalf("span names: %q %q", v.Spans[1].Name, v.Spans[2].Name)
+	}
+	if len(v.Spans[1].Attrs) != 1 || v.Spans[1].Attrs[0].Value != "CT" {
+		t.Fatalf("store attrs: %+v", v.Spans[1].Attrs)
+	}
+	if len(v.Spans[2].Attrs) != 1 || v.Spans[2].Attrs[0].Value != int64(42) {
+		t.Fatalf("engine attrs: %+v", v.Spans[2].Attrs)
+	}
+	for i, sv := range v.Spans {
+		if sv.DurationNs < 0 {
+			t.Fatalf("span %d has negative duration %d", i, sv.DurationNs)
+		}
+	}
+}
+
+func TestSpanArenaOverflowDrops(t *testing.T) {
+	tr := newTrace(4)
+	root := tr.begin("0123456789abcdef", "root")
+	var last *Span
+	for i := 0; i < 3; i++ { // fills slots 1..3
+		last = root.StartChild("child")
+		if last == nil {
+			t.Fatalf("child %d dropped before the arena was full", i)
+		}
+	}
+	over := root.StartChild("overflow")
+	if over != nil {
+		t.Fatal("overflow span was not dropped")
+	}
+	// The active span survives overflow: StartSpan keeps the parent.
+	ctx := ContextWithSpan(context.Background(), last)
+	ctx2, sp := StartSpan(ctx, "also-overflow")
+	if sp != nil {
+		t.Fatal("StartSpan allocated past a full arena")
+	}
+	if SpanFrom(ctx2) != last {
+		t.Fatal("full arena changed the context's active span")
+	}
+	tr.finish(200)
+	v := tr.View()
+	if len(v.Spans) != 4 || v.DroppedSpans != 2 {
+		t.Fatalf("got %d spans, %d dropped; want 4 spans, 2 dropped", len(v.Spans), v.DroppedSpans)
+	}
+}
+
+func TestTraceReuseResetsState(t *testing.T) {
+	tr := newTrace(8)
+	root := tr.begin("aaaaaaaaaaaaaaaa", "first")
+	root.StartChild("one").End()
+	tr.finish(500)
+
+	root = tr.begin("bbbbbbbbbbbbbbbb", "second")
+	root.SetAttr("k", "v")
+	tr.finish(200)
+	v := tr.View()
+	if v.ID != "bbbbbbbbbbbbbbbb" || v.Route != "second" || v.Status != 200 {
+		t.Fatalf("recycled trace kept stale state: %+v", v)
+	}
+	if len(v.Spans) != 1 || v.DroppedSpans != 0 {
+		t.Fatalf("recycled trace kept stale spans: %+v", v)
+	}
+}
+
+func TestRootDurationStampedOnce(t *testing.T) {
+	tr := newTrace(4)
+	root := tr.begin("0123456789abcdef", "root")
+	time.Sleep(time.Millisecond)
+	tr.finish(200)
+	v := tr.View()
+	if v.DurationNs <= 0 || v.Spans[0].DurationNs <= 0 {
+		t.Fatalf("durations not stamped: trace=%d root=%d", v.DurationNs, v.Spans[0].DurationNs)
+	}
+	_ = root
+}

@@ -30,6 +30,24 @@ func NewTraceID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// ValidTraceID reports whether id is a well-formed trace ID: exactly 16
+// lowercase hex characters, the shape NewTraceID mints. The HTTP middleware
+// accepts only valid client-supplied IDs (after ASCII-lowercasing), so
+// hostile or sloppy clients cannot inject unbounded-cardinality junk into
+// the access log and the flight recorder.
+func ValidTraceID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // WithTrace returns a context carrying the trace ID.
 func WithTrace(ctx context.Context, id string) context.Context {
 	return context.WithValue(ctx, traceKey, id)

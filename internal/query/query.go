@@ -207,6 +207,8 @@ type Result struct {
 	Fast bool
 	// PlanCached reports that the plan came from the cache.
 	PlanCached bool
+	// Plan is the compiled plan the evaluation executed, for EXPLAIN.
+	Plan *Plan
 }
 
 // Window computes the window [x] over the state. The state must be
@@ -231,7 +233,52 @@ func (ev *Evaluator) Window(st *relation.State, x attrset.Set) (*Result, error) 
 			return nil, err
 		}
 	}
-	return &Result{X: x, Rows: rows, Fast: plan.Fast, PlanCached: cached}, nil
+	return &Result{X: x, Rows: rows, Fast: plan.Fast, PlanCached: cached, Plan: plan}, nil
+}
+
+// RelScan is one relation an executed plan consulted, with the number of
+// tuples it scanned.
+type RelScan struct {
+	Relation string
+	Rows     int
+}
+
+// Explain describes the executed plan of one window evaluation against the
+// state it ran over: the chosen mode, whether the plan came from the cache,
+// which relations contributed (with per-relation rows scanned), and — on
+// the fast path — which relations the planner pruned because the window is
+// not a subset of their extension closure (Available()).
+type Explain struct {
+	Mode       string // "fast" (Theorem 5 extension joins) or "chase"
+	PlanCached bool
+	Relations  []RelScan
+	Pruned     []string
+}
+
+// Explain reconstructs the executed plan of res over st. The chase mode
+// consults the whole padded state, so every relation is listed and nothing
+// is pruned.
+func (ev *Evaluator) Explain(res *Result, st *relation.State) *Explain {
+	ex := &Explain{PlanCached: res.PlanCached}
+	if res.Fast {
+		ex.Mode = "fast"
+		member := make([]bool, ev.s.Size())
+		for _, l := range res.Plan.Schemes {
+			member[l] = true
+			ex.Relations = append(ex.Relations, RelScan{Relation: ev.s.Name(l), Rows: st.Insts[l].Len()})
+		}
+		for l := 0; l < ev.s.Size(); l++ {
+			if !member[l] {
+				ex.Pruned = append(ex.Pruned, ev.s.Name(l))
+			}
+		}
+		return ex
+	}
+	ex.Mode = "chase"
+	for l := 0; l < ev.s.Size(); l++ {
+		ex.Relations = append(ex.Relations, RelScan{Relation: ev.s.Name(l), Rows: st.Insts[l].Len()})
+	}
+	return ex
 }
 
 // evalFast is the independent-schema window: the union over relevant

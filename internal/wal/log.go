@@ -68,10 +68,17 @@ type queued struct {
 
 // Ticket is a handle on a pending append; Wait blocks until the record is
 // written (and fsynced, under SyncAlways) or the log fails.
-type Ticket struct{ done chan error }
+type Ticket struct {
+	done  chan error
+	bytes int
+}
 
 // Wait blocks for the append's outcome.
 func (t *Ticket) Wait() error { return <-t.done }
+
+// Bytes returns the encoded size of the append's frames — what the commit
+// actually cost the log, surfaced as a span attribute on traced writes.
+func (t *Ticket) Bytes() int { return t.bytes }
 
 // LogStats is a point-in-time view of the log's activity.
 type LogStats struct {
@@ -296,7 +303,7 @@ func (l *Log) Append(recs ...Record) *Ticket {
 	for _, r := range recs {
 		buf = appendFrame(buf, r)
 	}
-	t := &Ticket{done: make(chan error, 1)}
+	t := &Ticket{done: make(chan error, 1), bytes: len(buf)}
 	if err := l.enqueue(queued{data: buf, done: t.done}); err != nil {
 		t.done <- err
 	}

@@ -9,6 +9,7 @@ import (
 	"indep/internal/chase"
 	"indep/internal/engine"
 	"indep/internal/independence"
+	"indep/internal/obs"
 	"indep/internal/query"
 	"indep/internal/relation"
 )
@@ -33,6 +34,41 @@ type WindowQuery struct {
 	// Limit, when positive, caps the number of returned rows (applied after
 	// filtering, projection, and sorting, so results are deterministic).
 	Limit int
+	// Explain, when set, attaches the executed plan to the result: fast path
+	// vs chase, plan-cache hit, per-relation rows scanned, pruned relations,
+	// and (on a store) snapshot reuse. The query still runs normally.
+	Explain bool
+}
+
+// RelationScan is one relation a window evaluation consulted, with the
+// number of live tuples it scanned.
+type RelationScan struct {
+	Relation string `json:"relation"`
+	Rows     int    `json:"rows"`
+}
+
+// WindowExplain describes the plan a window query actually executed. The
+// same facts are recorded as span attributes on traced requests, so a
+// flight-recorder trace and an explain=1 response can never disagree.
+type WindowExplain struct {
+	// Mode is "fast" (Theorem 5 extension joins, relation-by-relation) or
+	// "chase" (padded state chased to the representative instance).
+	Mode string `json:"mode"`
+	// PlanCached reports the compiled plan came from the evaluator's cache.
+	PlanCached bool `json:"planCached"`
+	// SnapshotReused reports the evaluation ran over the cached snapshot
+	// without taking any lock (always false for a plain Database query,
+	// which has no snapshot cache).
+	SnapshotReused bool `json:"snapshotReused"`
+	// StoreVersion is the store mutation version the snapshot reflects
+	// (0 for a plain Database query).
+	StoreVersion uint64 `json:"storeVersion"`
+	// Relations lists the relations the evaluation consulted with their
+	// scanned row counts. The chase consults the whole state.
+	Relations []RelationScan `json:"relations"`
+	// Pruned lists relations the planner ruled out because the window is
+	// not a subset of their extension closure (fast path only).
+	Pruned []string `json:"pruned,omitempty"`
 }
 
 // WindowResult is the outcome of a window query.
@@ -55,6 +91,8 @@ type WindowResult struct {
 	// PlanCached reports that the compiled plan for Attrs came from the
 	// evaluator's cache.
 	PlanCached bool
+	// Explain is the executed plan, present iff the query set Explain.
+	Explain *WindowExplain `json:"explain,omitempty"`
 }
 
 // QueryStats re-exports the engine's query-side counters: window queries
@@ -80,17 +118,47 @@ func (cs *ConcurrentStore) Query(q WindowQuery) (*WindowResult, error) {
 }
 
 // QueryCtx is Query with the context's trace ID attached to any slow-query
-// log record.
+// log record; a traced context additionally records a store.query span
+// whose engine.window child carries the explain attributes.
 func (cs *ConcurrentStore) QueryCtx(ctx context.Context, q WindowQuery) (*WindowResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "store.query")
+	defer sp.End()
 	x, err := cs.schema.attrSet(q.Attrs)
 	if err != nil {
 		return nil, err
 	}
-	res, st, err := cs.eng.WindowCtx(ctx, x)
+	res, st, meta, err := cs.eng.WindowMetaCtx(ctx, x, q.Explain)
 	if err != nil {
 		return nil, err
 	}
-	return finishWindow(cs.schema, st, res, q)
+	out, err := finishWindow(cs.schema, st, res, q)
+	if err != nil {
+		return nil, err
+	}
+	if q.Explain {
+		out.Explain = newWindowExplain(meta.Explain, meta.SnapshotReused, meta.Version)
+	}
+	return out, nil
+}
+
+// newWindowExplain converts the evaluator's explain record plus the store's
+// snapshot facts into the public shape.
+func newWindowExplain(ex *query.Explain, reused bool, version uint64) *WindowExplain {
+	if ex == nil {
+		return nil
+	}
+	we := &WindowExplain{
+		Mode:           ex.Mode,
+		PlanCached:     ex.PlanCached,
+		SnapshotReused: reused,
+		StoreVersion:   version,
+		Relations:      make([]RelationScan, len(ex.Relations)),
+		Pruned:         ex.Pruned,
+	}
+	for i, rs := range ex.Relations {
+		we.Relations[i] = RelationScan{Relation: rs.Relation, Rows: rs.Rows}
+	}
+	return we
 }
 
 // QueryStats returns the store's query-side counters.
@@ -124,7 +192,14 @@ func (db *Database) Query(q WindowQuery) (*WindowResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishWindow(db.schema, db.st, res, q)
+	out, err := finishWindow(db.schema, db.st, res, q)
+	if err != nil {
+		return nil, err
+	}
+	if q.Explain {
+		out.Explain = newWindowExplain(ev.Explain(res, db.st), false, 0)
+	}
+	return out, nil
 }
 
 // windowEvaluator returns the schema's shared window evaluator, running the

@@ -1,0 +1,6 @@
+//go:build !race
+
+package indep
+
+// raceEnabled is false in a plain build; see race_on_test.go.
+const raceEnabled = false

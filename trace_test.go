@@ -1,0 +1,166 @@
+package indep
+
+import (
+	"context"
+	"testing"
+)
+
+// traceTestStore builds a concurrent store over the independent course
+// schema with one CT row loaded.
+func traceTestStore(t testing.TB) *ConcurrentStore {
+	t.Helper()
+	sch, err := Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Insert("CT", map[string]string{"C": "cs101", "T": "jones"}); err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// TestUntracedInsertAllocBudget pins the untraced hot path: tracing must be
+// pay-only-when-sampled, so InsertCtx on a spanless context keeps the same
+// allocs/op it had before spans existed (2: the row→tuple conversion).
+func TestUntracedInsertAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are skewed under -race; CI pins them in a plain pass")
+	}
+	cs := traceTestStore(t)
+	ctx := context.Background()
+	row := map[string]string{"C": "cs101", "T": "jones"}
+	if n := testing.AllocsPerRun(500, func() {
+		if err := cs.InsertCtx(ctx, "CT", row); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 2 {
+		t.Fatalf("untraced InsertCtx allocates %v/op, budget 2", n)
+	}
+}
+
+// TestTracedInsertAllocBudget bounds the sampled path at steady state: the
+// span arena is pooled and attr arrays are recycled, so a traced insert may
+// add only the two span-context allocations over the untraced budget.
+func TestTracedInsertAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are skewed under -race; CI pins them in a plain pass")
+	}
+	cs := traceTestStore(t)
+	rec := NewTraceRecorder(TraceRecorderOptions{Capacity: 8, Slow: -1, SampleEvery: 1 << 30})
+	ctx := context.Background()
+	row := map[string]string{"C": "cs101", "T": "jones"}
+	if n := testing.AllocsPerRun(500, func() {
+		tr, root := rec.Start("0123456789abcdef", "POST /insert")
+		if err := cs.InsertCtx(ContextWithSpan(ctx, root), "CT", row); err != nil {
+			t.Fatal(err)
+		}
+		rec.Finish(tr, 200)
+	}); n > 4 {
+		t.Fatalf("traced InsertCtx allocates %v/op, budget 4 (untraced 2 + 2 span contexts)", n)
+	}
+}
+
+// TestUntracedQueryAllocBudget pins the untraced read path after the explain
+// and span work: a cached-plan, reused-snapshot window stays at its prior
+// allocs/op.
+func TestUntracedQueryAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are skewed under -race; CI pins them in a plain pass")
+	}
+	cs := traceTestStore(t)
+	ctx := context.Background()
+	q := WindowQuery{Attrs: []string{"C", "T"}}
+	if _, err := cs.QueryCtx(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(300, func() {
+		if _, err := cs.QueryCtx(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 22 {
+		t.Fatalf("untraced QueryCtx allocates %v/op, budget 22", n)
+	}
+}
+
+// TestPublicTraceAPI drives tracing end to end through the exported aliases:
+// recorder → root span → store spans → retained view.
+func TestPublicTraceAPI(t *testing.T) {
+	cs := traceTestStore(t)
+	rec := NewTraceRecorder(TraceRecorderOptions{Capacity: 8, SampleEvery: 1})
+	id := NewTraceID()
+	if !ValidTraceID(id) {
+		t.Fatalf("NewTraceID minted invalid ID %q", id)
+	}
+	tr, root := rec.Start(id, "POST /insert")
+	ctx := ContextWithSpan(WithTrace(context.Background(), id), root)
+	if SpanFromContext(ctx) != root {
+		t.Fatal("SpanFromContext lost the root")
+	}
+	if err := cs.InsertCtx(ctx, "CS", map[string]string{"C": "cs101", "S": "smith"}); err != nil {
+		t.Fatal(err)
+	}
+	rec.Finish(tr, 200)
+
+	v, ok := rec.Get(id)
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	names := map[string]bool{}
+	for _, sp := range v.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"POST /insert", "store.insert", "engine.insert", "guard.validate"} {
+		if !names[want] {
+			t.Fatalf("span %q missing: %+v", want, v.Spans)
+		}
+	}
+}
+
+// TestQueryExplain checks the executed-plan report on the single-writer
+// Database API: fast mode on an independent schema, scans consistent with
+// the instance, pruned disjoint from scanned.
+func TestQueryExplain(t *testing.T) {
+	sch, err := Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sch.NewDatabase()
+	if err := db.Insert("CT", map[string]string{"C": "cs101", "T": "jones"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(WindowQuery{Attrs: []string{"C", "T"}, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := res.Explain
+	if ex == nil {
+		t.Fatal("Explain requested but missing")
+	}
+	if (ex.Mode == "fast") != res.FastPath {
+		t.Fatalf("mode %q vs FastPath %v", ex.Mode, res.FastPath)
+	}
+	if ex.PlanCached != res.PlanCached {
+		t.Fatalf("explain PlanCached %v vs result %v", ex.PlanCached, res.PlanCached)
+	}
+	scanned := map[string]bool{}
+	for _, rs := range ex.Relations {
+		scanned[rs.Relation] = true
+	}
+	for _, p := range ex.Pruned {
+		if scanned[p] {
+			t.Fatalf("relation %s both scanned and pruned", p)
+		}
+	}
+
+	res, err = db.Query(WindowQuery{Attrs: []string{"C", "T"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain != nil {
+		t.Fatal("Explain attached without being requested")
+	}
+}
