@@ -14,6 +14,7 @@
 //	indepbench -engine -durable -nofsync        # WAL write cost without fsync
 //
 //	indepbench -query -readers 8 -workers 2 -duration 3s
+//	indepbench -cluster -replicas 2 -nofsync -duration 3s
 //	indepbench -engine -json        # machine-readable result with allocs/op
 //
 // The -engine mode drives inserts through the public ConcurrentStore —
@@ -28,6 +29,14 @@
 // lock-free snapshots. It reports write tuples/s, read queries/s, and read
 // latency percentiles — run it at different -readers (or GOMAXPROCS) to
 // see reads scale with cores against a concurrent writer.
+//
+// The -cluster mode measures follower-read scaling: writers insert on a
+// durable primary while -replicas in-process WAL-streaming followers tail
+// it, and readers round-robin window queries across every serving node
+// (the primary alone at -replicas 0). After the load it waits for each
+// follower to catch up, checks bit-for-bit convergence against the
+// primary, and reports per-follower stream counters — run it at 0, 1, 2
+// replicas to see read throughput scale with the cluster.
 //
 // With -json either load emits a single JSON object instead of text,
 // including -benchmem-style allocs/op and B/op (whole-process MemStats
@@ -64,6 +73,8 @@ func main() {
 
 	engine := flag.Bool("engine", false, "load-test the concurrent store instead of running experiments")
 	queryMode := flag.Bool("query", false, "mixed read/write load: writers insert while readers run window queries")
+	cluster := flag.Bool("cluster", false, "replication load: writers hit a durable primary, readers round-robin over primary plus -replicas followers")
+	replicas := flag.Int("replicas", 2, "in-process WAL-streaming followers to open (-cluster)")
 	shape := flag.String("shape", "star", "workload shape: star, chain, random")
 	attrs := flag.Int("attrs", 25, "universe size of the generated schema")
 	schemes := flag.Int("schemes", 5, "relation schemes (star/random)")
@@ -78,16 +89,20 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON result object (with -benchmem-style ns/op, B/op, allocs/op) instead of text")
 	flag.Parse()
 
-	if *engine || *queryMode {
+	if *engine || *queryMode || *cluster {
 		cfg := engineConfig{
 			shape: *shape, attrs: *attrs, schemes: *schemes, seed: *seed,
 			n: *n, batch: *batch, workers: *workers,
 			readers: *readers, duration: *duration,
 			durable: *durable, dir: *dir, noFsync: *noFsync,
-			jsonOut: *jsonOut,
+			replicas: *replicas,
+			jsonOut:  *jsonOut,
 		}
 		run := runEngine
-		if *queryMode {
+		switch {
+		case *cluster:
+			run = runCluster
+		case *queryMode:
 			run = runQuery
 		}
 		if err := run(cfg); err != nil {
@@ -126,6 +141,7 @@ type engineConfig struct {
 	durable        bool
 	dir            string
 	noFsync        bool
+	replicas       int
 	jsonOut        bool
 }
 
@@ -192,6 +208,22 @@ type benchReport struct {
 	UntracedInsertNsPerOp float64 `json:"untracedInsertNsPerOp,omitempty"`
 	TracedInsertNsPerOp   float64 `json:"tracedInsertNsPerOp,omitempty"`
 	SpanOverheadNsPerOp   float64 `json:"spanOverheadNsPerOp,omitempty"`
+	// Cluster mode: followers opened, and each follower's stream counters
+	// at the end of the run (after catch-up and the convergence check).
+	Replicas    int              `json:"replicas,omitempty"`
+	Replication []followerReport `json:"replication,omitempty"`
+}
+
+// followerReport is one follower's stream summary for the -cluster JSON
+// output.
+type followerReport struct {
+	AppliedRecords uint64 `json:"appliedRecords"`
+	SkippedRecords uint64 `json:"skippedRecords"`
+	Resyncs        uint64 `json:"resyncs"`
+	Healthy        bool   `json:"healthy"`
+	// CatchUpNs is how long the follower took to cover the primary's final
+	// flushed position after writers stopped — drain lag, not clock skew.
+	CatchUpNs int64 `json:"catchUpNs"`
 }
 
 // latQuantiles renders a latency histogram snapshot for the JSON report.
@@ -648,6 +680,203 @@ func runQuery(cfg engineConfig) error {
 	if ds != nil {
 		printWALStats(ds)
 	}
+	return nil
+}
+
+// runCluster drives the replication load: writers insert on a durable
+// primary while -replicas followers tail its WAL in-process, and readers
+// round-robin window queries across every serving node. The run ends with
+// a catch-up wait and a bit-for-bit convergence check against the primary,
+// so a throughput number is only ever reported for a correct cluster.
+func runCluster(cfg engineConfig) error {
+	sch, err := buildWorkloadSchema(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.durable = true // a cluster streams a WAL; there is no in-memory primary
+	store, ds, mode, cleanup, err := openBenchStore(sch, cfg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	rels := sch.Relations()
+	pool, err := windowPool(sch)
+	if err != nil {
+		return err
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.readers < 1 {
+		cfg.readers = 1
+	}
+	if cfg.replicas < 0 {
+		cfg.replicas = 0
+	}
+
+	// Followers stream from the primary's DurableStore directly — the same
+	// ReplSource the HTTP endpoints wrap, minus the network, so the numbers
+	// isolate replication cost from transport cost.
+	followers := make([]*indep.Follower, cfg.replicas)
+	for i := range followers {
+		fdir, err := os.MkdirTemp("", "indepbench-replica-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(fdir)
+		f, err := sch.OpenFollower(fdir, ds, indep.FollowerOptions{
+			NoFsync: cfg.noFsync, PollInterval: time.Millisecond})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		followers[i] = f
+	}
+	// Readers query the followers when there are any, the primary otherwise:
+	// the 0-replica run is the single-node baseline the scaling compares to.
+	targets := make([]*indep.ConcurrentStore, 0, cfg.replicas+1)
+	if cfg.replicas == 0 {
+		targets = append(targets, store)
+	}
+	for _, f := range followers {
+		targets = append(targets, f.ConcurrentStore)
+	}
+
+	if !cfg.jsonOut {
+		fmt.Printf("cluster load: shape=%s schemes=%d attrs=%d mode=%s replicas=%d writers=%d readers=%d batch=%d duration=%v\n",
+			cfg.shape, len(rels), cfg.attrs, mode, cfg.replicas,
+			cfg.workers, cfg.readers, cfg.batch, cfg.duration)
+	}
+
+	probe := startMemProbe()
+	var stop atomic.Bool
+	var wrote atomic.Int64
+	errc := make(chan error, cfg.workers+cfg.readers)
+	fail := func(err error) {
+		stop.Store(true)
+		errc <- err
+	}
+	var wg sync.WaitGroup
+
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; !stop.Load(); k++ {
+				ops := make([]indep.BatchOp, cfg.batch)
+				for j := range ops {
+					seed := (k*cfg.batch+j)*cfg.workers + w
+					rel := rels[seed%len(rels)]
+					row, err := rowFor(sch, rel, seed)
+					if err != nil {
+						fail(err)
+						return
+					}
+					ops[j] = indep.BatchOp{Rel: rel, Row: row}
+				}
+				if err := store.InsertBatch(ops); err != nil {
+					fail(err)
+					return
+				}
+				wrote.Add(int64(cfg.batch))
+			}
+		}(w)
+	}
+
+	var readLat obs.Histogram
+	for r := 0; r < cfg.readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for k := 0; !stop.Load(); k++ {
+				node := targets[(k+r)%len(targets)]
+				attrs := pool[(k*cfg.readers+r)%len(pool)]
+				qs := time.Now()
+				if _, err := node.Window(attrs...); err != nil {
+					fail(err)
+					return
+				}
+				readLat.ObserveSince(qs)
+			}
+		}(r)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Catch-up: every follower must reach the primary's final flushed
+	// position, and its state must match the primary bit for bit.
+	flushed := ds.ReplPosition()
+	primarySnap := store.Snapshot()
+	reports := make([]followerReport, len(followers))
+	for i, f := range followers {
+		cs := time.Now()
+		if !f.WaitFor(flushed, 30*time.Second) {
+			return fmt.Errorf("replica %d never reached %s (applied %s)", i, flushed, f.Applied())
+		}
+		catchUp := time.Since(cs)
+		if diff := indep.DiffDatabases(primarySnap, f.Snapshot()); diff != nil {
+			return fmt.Errorf("replica %d diverged from primary: %s", i, strings.Join(diff, "; "))
+		}
+		st := f.ReplStats()
+		reports[i] = followerReport{
+			AppliedRecords: st.AppliedRecords,
+			SkippedRecords: st.SkippedRecords,
+			Resyncs:        st.Resyncs,
+			Healthy:        st.Healthy,
+			CatchUpNs:      catchUp.Nanoseconds(),
+		}
+	}
+
+	rs := readLat.Snapshot()
+	reads := int64(rs.Count)
+	p50, p90, p99, p999 := rs.Quantiles()
+	allocsPerOp, bytesPerOp := probe.perOp(wrote.Load() + reads)
+	if cfg.jsonOut {
+		w := wrote.Load()
+		return emitJSON(benchReport{
+			Mode: "cluster", Shape: cfg.shape, Schemes: len(rels), Attrs: cfg.attrs,
+			FastPath: store.FastPath(), Store: mode,
+			Workers: cfg.workers, Batch: cfg.batch, Readers: cfg.readers,
+			WriteTuples: w,
+			WriteTPS:    float64(w) / elapsed.Seconds(),
+			ReadQueries: reads,
+			ReadQPS:     float64(reads) / elapsed.Seconds(),
+			ReadP50Ns:   p50,
+			ReadP99Ns:   p99,
+			MeasuredOps: w + reads,
+			AllocsPerOp: allocsPerOp, BytesPerOp: bytesPerOp,
+			ElapsedNs:   elapsed.Nanoseconds(),
+			ReadLat:     latFromSnapshot(rs),
+			Replicas:    cfg.replicas,
+			Replication: reports,
+		})
+	}
+	fmt.Printf("writes: %d tuples in %v (%.0f tuples/s)\n",
+		wrote.Load(), elapsed.Round(time.Millisecond),
+		float64(wrote.Load())/elapsed.Seconds())
+	fmt.Printf("reads:  %d window queries (%.0f queries/s) p50=%v p90=%v p99=%v p999=%v across %d node(s)\n",
+		reads, float64(reads)/elapsed.Seconds(),
+		time.Duration(p50), time.Duration(p90), time.Duration(p99), time.Duration(p999),
+		len(targets))
+	for i, rep := range reports {
+		fmt.Printf("replica %d: applied=%d skipped=%d resyncs=%d healthy=%v caught up in %v; converged\n",
+			i, rep.AppliedRecords, rep.SkippedRecords, rep.Resyncs, rep.Healthy,
+			time.Duration(rep.CatchUpNs).Round(time.Millisecond))
+	}
+	printWALStats(ds)
 	return nil
 }
 

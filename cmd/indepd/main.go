@@ -11,10 +11,19 @@
 // graceful shutdown (SIGINT/SIGTERM) drains connections, writes a final
 // checkpoint, and closes the log.
 //
+// With -follow the daemon is a read-only replica: it keeps its own durable
+// copy in -data, tails the primary's write-ahead log over /v1/repl/, and
+// serves window queries from its local snapshots. Writes answer 403; reads
+// carrying X-Indep-Min-Version (the position token every durable write
+// returns in X-Indep-Version) wait briefly for the stream to catch up and
+// answer 503 with Retry-After when still behind — read-your-writes without
+// blocking the primary.
+//
 // Usage:
 //
 //	indepd -schema 'CT(C,T); CS(C,S); CHR(C,H,R)' -fds 'C -> T; C H -> R'
 //	indepd -file design.txt -addr :8080 -data /var/lib/indepd
+//	indepd -file design.txt -addr :8081 -data /var/lib/indepd-replica -follow http://primary:8080
 //
 // Endpoints (also mounted under /v1/):
 //
@@ -29,6 +38,8 @@
 //	GET    /metrics     Prometheus text exposition of every subsystem
 //	GET    /healthz     process liveness (200 as soon as the listener is up)
 //	GET    /readyz      503 until recovery finishes, then 200
+//	GET    /v1/repl/wal       raw flushed WAL bytes by cursor (?pos=seq/off&max=&wait=1)
+//	GET    /v1/repl/snapshot  encoded state snapshot for follower bootstrap
 //
 // /window computes the paper's window function: the X-total projection of
 // the representative instance for the requested attribute set, evaluated
@@ -77,6 +88,7 @@ func main() {
 	fdSrc := flag.String("fds", "", "functional dependencies, e.g. 'A -> B; B -> C'")
 	file := flag.String("file", "", "read schema/fds from a declaration file")
 	data := flag.String("data", "", "data directory for the write-ahead log (empty: in-memory only)")
+	follow := flag.String("follow", "", "primary base URL to replicate from (replica mode; requires -data, serves reads only)")
 	noFsync := flag.Bool("nofsync", false, "durable mode without fsync (survives process crashes, not power loss)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn, or error")
@@ -131,7 +143,25 @@ func main() {
 
 	var store *indep.ConcurrentStore
 	var durable *indep.DurableStore
-	if *data != "" {
+	var follower *indep.Follower
+	switch {
+	case *follow != "":
+		if *data == "" {
+			fatal(fmt.Errorf("-follow requires -data (the replica keeps its own durable copy)"))
+		}
+		follower, err = sch.OpenFollower(*data, &indep.HTTPReplSource{
+			Base: strings.TrimRight(*follow, "/"),
+			Wait: true,
+		}, indep.FollowerOptions{
+			NoFsync: *noFsync,
+			Logger:  logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		durable = follower.DurableStore
+		store = durable.ConcurrentStore
+	case *data != "":
 		durable, err = sch.OpenDurableStore(*data, indep.DurableOptions{
 			NoFsync:    *noFsync,
 			Logger:     logger,
@@ -141,14 +171,15 @@ func main() {
 			fatal(err)
 		}
 		store = durable.ConcurrentStore
-	} else {
+	default:
 		store, err = sch.OpenConcurrentStore()
 		if err != nil {
 			fatal(err)
 		}
 	}
-	s.install(store, durable, *slow)
-	logger.Info("ready", "fastPath", store.FastPath(), "durable", durable != nil)
+	s.install(store, durable, follower, *slow)
+	logger.Info("ready", "fastPath", store.FastPath(), "durable", durable != nil,
+		"replica", follower != nil)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -166,7 +197,14 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		logger.Warn("shutdown", "err", err)
 	}
-	if durable != nil {
+	switch {
+	case follower != nil:
+		// Close persists the stream position, so the next start resumes
+		// the tail instead of re-syncing from a snapshot.
+		if err := follower.Close(); err != nil {
+			logger.Error("close", "err", err)
+		}
+	case durable != nil:
 		if err := durable.Checkpoint(); err != nil {
 			logger.Error("final checkpoint", "err", err)
 		} else {
@@ -194,9 +232,10 @@ type server struct {
 	http *httpStats
 	mux  *http.ServeMux
 
-	ready   atomic.Bool
-	store   *indep.ConcurrentStore
-	durable *indep.DurableStore
+	ready    atomic.Bool
+	store    *indep.ConcurrentStore
+	durable  *indep.DurableStore
+	follower *indep.Follower // non-nil in replica mode: read-only, tails a primary
 
 	// rec is the always-on flight recorder; API requests run under its
 	// root spans and /debug/trace serves what it retained.
@@ -235,6 +274,10 @@ func newServer(sch *indep.Schema, logger *slog.Logger, pprofOn bool, rec obs.Rec
 	handle("GET /state", s.handleState)
 	handle("GET /analysis", s.handleAnalysis)
 	handle("GET /stats", s.handleStats)
+	// Replication stream: followers poll these at up to per-millisecond
+	// rates, so they log at Debug like the probe routes.
+	s.mux.HandleFunc("GET /v1/repl/wal", s.wrapAt(slog.LevelDebug, "GET /v1/repl/wal", s.whenReady(s.handleReplWal)))
+	s.mux.HandleFunc("GET /v1/repl/snapshot", s.wrapAt(slog.LevelDebug, "GET /v1/repl/snapshot", s.whenReady(s.handleReplSnapshot)))
 	// Probe and scrape routes bypass the readiness gate and log at Debug:
 	// a kubelet hitting /healthz every few seconds must not fill the log.
 	s.mux.HandleFunc("GET /metrics", s.wrapAt(slog.LevelDebug, "GET /metrics", s.handleMetrics))
@@ -261,13 +304,17 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // install wires the opened store into the server: telemetry (slow-operation
 // log with trace IDs), metric registration, and the readiness flip. Runs
-// once, after recovery, before any store-backed route answers.
-func (s *server) install(store *indep.ConcurrentStore, durable *indep.DurableStore, slow time.Duration) {
+// once, after recovery, before any store-backed route answers. In replica
+// mode follower wraps the same durable store and adds the stream metrics.
+func (s *server) install(store *indep.ConcurrentStore, durable *indep.DurableStore, follower *indep.Follower, slow time.Duration) {
 	store.SetTelemetry(s.log, slow)
-	s.store, s.durable = store, durable
-	if durable != nil {
+	s.store, s.durable, s.follower = store, durable, follower
+	switch {
+	case follower != nil:
+		follower.RegisterMetrics(s.reg)
+	case durable != nil:
 		durable.RegisterMetrics(s.reg)
-	} else {
+	default:
 		store.RegisterMetrics(s.reg)
 	}
 	s.ready.Store(true)
@@ -338,6 +385,9 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly(w) {
+		return
+	}
 	var req tupleReq
 	if !decode(w, r, &req) {
 		return
@@ -346,10 +396,14 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.noteVersion(w)
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly(w) {
+		return
+	}
 	var req batchReq
 	if !decode(w, r, &req) {
 		return
@@ -362,10 +416,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.noteVersion(w)
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "accepted": len(ops)})
 }
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly(w) {
+		return
+	}
 	var req tupleReq
 	if !decode(w, r, &req) {
 		return
@@ -375,6 +433,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.noteVersion(w)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": deleted})
 }
 
@@ -428,6 +487,9 @@ func parseWindowQuery(vals url.Values) (indep.WindowQuery, error) {
 }
 
 func (s *server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	if !s.waitMinVersion(w, r) {
+		return
+	}
 	q, err := parseWindowQuery(r.URL.Query())
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
@@ -510,6 +572,9 @@ func (s *server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly(w) {
+		return
+	}
 	if s.durable == nil {
 		writeJSON(w, http.StatusConflict, map[string]any{
 			"error": "store is not durable; start indepd with -data"})
@@ -530,6 +595,9 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	if !s.waitMinVersion(w, r) {
+		return
+	}
 	snap := s.store.Snapshot()
 	rels := make(map[string][]map[string]string, len(s.sch.Relations()))
 	for _, name := range s.sch.Relations() {
@@ -583,8 +651,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	qs := s.store.QueryStats()
 	out := map[string]any{
-		"relations": rels,
-		"durable":   s.durable != nil,
+		"relations":   rels,
+		"durable":     s.durable != nil,
+		"replication": s.replStatsSection(),
 		"query": map[string]any{
 			"queries":        qs.Queries,
 			"planHits":       qs.PlanHits,

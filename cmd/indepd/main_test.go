@@ -29,7 +29,7 @@ func newTestServer(t *testing.T, schemaSrc, fdSrc string) (*httptest.Server, *in
 		t.Fatal(err)
 	}
 	s := newServer(sch, discardLogger(), false, obs.RecorderOptions{SampleEvery: 1})
-	s.install(store, nil, 0)
+	s.install(store, nil, nil, 0)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return ts, store
@@ -48,7 +48,7 @@ func newDurableTestServer(t *testing.T, dir, schemaSrc, fdSrc string) (*httptest
 	}
 	t.Cleanup(func() { store.Close() })
 	s := newServer(sch, discardLogger(), false, obs.RecorderOptions{SampleEvery: 1})
-	s.install(store.ConcurrentStore, store, 0)
+	s.install(store.ConcurrentStore, store, nil, 0)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return ts, store

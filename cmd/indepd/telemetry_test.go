@@ -198,7 +198,7 @@ func TestReadinessGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.install(store, nil, 0)
+	s.install(store, nil, nil, 0)
 
 	if resp, _ := do(t, "GET", ts.URL+"/readyz", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("readyz after install: %d", resp.StatusCode)
@@ -227,7 +227,7 @@ func TestTraceEndToEnd(t *testing.T) {
 	}
 	t.Cleanup(func() { store.Close() })
 	s := newServer(sch, logger, false, obs.RecorderOptions{SampleEvery: 1})
-	s.install(store.ConcurrentStore, store, 0)
+	s.install(store.ConcurrentStore, store, nil, 0)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 

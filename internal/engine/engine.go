@@ -207,13 +207,36 @@ func (e *Engine) commit(c Commit) func() error {
 	return e.hook(c)
 }
 
+// Version returns the engine's mutation counter: it bumps once per
+// successful commit, under the locks guarding the mutated relations. It is
+// a cheap change detector (the query path keys its snapshot cache on it),
+// NOT a replication token — the counter restarts from recovery's replay
+// count after a reopen, and bumps in different relation stripes are not
+// ordered against each other. Cross-restart read-your-writes tokens come
+// from the WAL byte position instead (see wal.Position).
+func (e *Engine) Version() uint64 { return e.version.Load() }
+
 // Apply replays a recovered Commit through the normal admission path:
 // inserts re-validate through the per-relation guards (or the chase) as an
 // atomic batch, deletes re-apply directly. Replay is idempotent — a
 // duplicate insert or an absent delete is a no-op — so applying a log
 // whose prefix is already reflected in the state converges to the same
-// state. Apply is meant to run before SetCommitHook, so replayed records
-// are not re-logged.
+// state.
+//
+// More strongly, re-applying any contiguous suffix of a commit log in
+// order converges: a tuple's final presence is decided by its last mention
+// in the log (insert → present, delete → absent), and a re-applied insert
+// whose tuple was later deleted and superseded re-validates against the
+// *current* guards — it is rejected (the guards hold the superseding
+// tuple), which is exactly the target state. This is the property WAL
+// replication leans on: a follower that lost its exact position may replay
+// from any earlier point in the same log without diverging, provided it
+// replays contiguously and in order from there.
+//
+// During recovery Apply runs before SetCommitHook, so replayed records are
+// not re-logged; a replication follower instead runs Apply *with* its hook
+// set, so every applied record is re-journaled into the follower's own
+// log.
 func (e *Engine) Apply(c Commit) error {
 	if c.Delete {
 		for _, op := range c.Ops {

@@ -1,0 +1,180 @@
+// Package replt is the replication fault-injection harness: it wraps a
+// replication source with an adversarial delivery layer — disconnects,
+// corrupted bytes, truncated (torn) chunks, duplicated and reordered
+// delivery — and provides the divergence oracle the test suite drives
+// followers against. The claim under test is the paper's independence
+// theorem carried to replication: admission is a purely local decision, so
+// a follower replaying the primary's log through the same guards converges
+// to the primary's state no matter how badly the transport behaves, as long
+// as it eventually delivers.
+package replt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+
+	"indep"
+	"indep/internal/wal"
+)
+
+// ErrInjected is the error a simulated disconnect returns.
+var ErrInjected = errors.New("replt: injected disconnect")
+
+// Faults sets per-read fault probabilities, each rolled independently in
+// the order disconnect, duplicate, reorder, short, corrupt (first hit
+// wins). Zero is a clean transport.
+type Faults struct {
+	Disconnect float64 // the read fails outright
+	Duplicate  float64 // a previously served chunk is served again
+	Reorder    float64 // a chunk from further ahead is served first (gap)
+	Short      float64 // the chunk is truncated mid-record (torn read)
+	Corrupt    float64 // one byte of the chunk is flipped
+}
+
+// InjectorStats counts the faults actually delivered.
+type InjectorStats struct {
+	Reads, Disconnects, Duplicates, Reorders, Shorts, Corrupts int
+}
+
+// Injector is a ReplSource that misbehaves. One injector serves one
+// follower; the embedded rng makes a (seed, schedule) pair reproducible.
+type Injector struct {
+	Src indep.ReplSource
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	faults  Faults
+	history []indep.ReplChunk
+	stats   InjectorStats
+}
+
+// NewInjector wraps src with the given fault rates, drawing from rng
+// (which the injector then owns).
+func NewInjector(src indep.ReplSource, faults Faults, rng *rand.Rand) *Injector {
+	return &Injector{Src: src, faults: faults, rng: rng}
+}
+
+// Stats returns the faults delivered so far.
+func (in *Injector) Stats() InjectorStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// ReplSnapshot passes through, minus injected disconnects: snapshot
+// payloads ride the same unreliable transport, but their internal CRC
+// (checked by DecodeCheckpointBytes) already covers corruption.
+func (in *Injector) ReplSnapshot() ([]byte, wal.Position, error) {
+	in.mu.Lock()
+	drop := in.rng.Float64() < in.faults.Disconnect
+	if drop {
+		in.stats.Disconnects++
+	}
+	in.mu.Unlock()
+	if drop {
+		return nil, wal.Position{}, ErrInjected
+	}
+	return in.Src.ReplSnapshot()
+}
+
+// clone deep-copies a chunk so history replays and corruption never alias
+// live buffers.
+func clone(c indep.ReplChunk) indep.ReplChunk {
+	c.Data = append([]byte(nil), c.Data...)
+	return c
+}
+
+// ReplRead serves the requested chunk through the fault model. Faulty
+// deliveries still carry internally consistent Start/Next positions — the
+// injector models a broken transport, not a lying primary, except for
+// Corrupt which flips payload bytes exactly as a bad disk or NIC would.
+func (in *Injector) ReplRead(pos wal.Position, max int) (indep.ReplChunk, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Reads++
+
+	if in.rng.Float64() < in.faults.Disconnect {
+		in.stats.Disconnects++
+		return indep.ReplChunk{}, ErrInjected
+	}
+	chunk, err := in.Src.ReplRead(pos, max)
+	if err != nil {
+		return chunk, err
+	}
+	if len(chunk.Data) == 0 {
+		return chunk, nil
+	}
+	in.history = append(in.history, clone(chunk))
+	if len(in.history) > 32 {
+		in.history = in.history[1:]
+	}
+
+	// One roll against cumulative disjoint ranges, so every class gets its
+	// configured share even when several rates are high.
+	r := in.rng.Float64()
+	switch f := in.faults; {
+	case r < f.Duplicate && len(in.history) > 1:
+		in.stats.Duplicates++
+		return clone(in.history[in.rng.Intn(len(in.history))]), nil
+	case r < f.Duplicate+f.Reorder:
+		if ahead, err := in.Src.ReplRead(chunk.Next, max); err == nil && len(ahead.Data) > 0 {
+			in.stats.Reorders++
+			return ahead, nil
+		}
+	case r < f.Duplicate+f.Reorder+f.Short:
+		in.stats.Shorts++
+		cut := 1 + in.rng.Intn(len(chunk.Data))
+		c := clone(chunk)
+		c.Data = c.Data[:cut]
+		c.Next = wal.Position{Seq: c.Start.Seq, Off: c.Start.Off + int64(cut)}
+		return c, nil
+	case r < f.Duplicate+f.Reorder+f.Short+f.Corrupt:
+		in.stats.Corrupts++
+		c := clone(chunk)
+		c.Data[in.rng.Intn(len(c.Data))] ^= 1 << uint(in.rng.Intn(8))
+		return c, nil
+	}
+	return chunk, nil
+}
+
+// WindowPanel evaluates a panel of window queries over a database state and
+// returns the results keyed by query, for bit-for-bit comparison between
+// primary and follower. Window results are deterministically sorted, so
+// equality is exact, not set-wise.
+func WindowPanel(db *indep.Database, panel [][]string) (map[string]*indep.WindowResult, error) {
+	out := make(map[string]*indep.WindowResult, len(panel))
+	for _, attrs := range panel {
+		res, err := db.Window(attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("window %v: %w", attrs, err)
+		}
+		out[fmt.Sprint(attrs)] = res
+	}
+	return out, nil
+}
+
+// Diverged is the full oracle: tuple-level state diff plus the window-query
+// panel. It returns a description of every disagreement; nil means the two
+// states are observably identical.
+func Diverged(primary, follower *indep.Database, panel [][]string) []string {
+	diffs := indep.DiffDatabases(primary, follower)
+	pw, err := WindowPanel(primary, panel)
+	if err != nil {
+		return append(diffs, fmt.Sprintf("primary panel: %v", err))
+	}
+	fw, err := WindowPanel(follower, panel)
+	if err != nil {
+		return append(diffs, fmt.Sprintf("follower panel: %v", err))
+	}
+	for k, p := range pw {
+		f := fw[k]
+		if !reflect.DeepEqual(p.Rows, f.Rows) || p.Total != f.Total {
+			diffs = append(diffs, fmt.Sprintf("window %s: %d rows (total %d) vs %d rows (total %d)",
+				k, len(p.Rows), p.Total, len(f.Rows), f.Total))
+		}
+	}
+	return diffs
+}

@@ -70,6 +70,18 @@ func (ck *Checkpoint) encode() []byte {
 	return binary.LittleEndian.AppendUint32(buf, sum)
 }
 
+// Encode renders the checkpoint in its file format (magic, body, trailing
+// CRC): the bytes WriteCheckpoint would persist, exposed so a primary can
+// ship a catch-up snapshot over the replication stream without touching
+// disk.
+func (ck *Checkpoint) Encode() []byte { return ck.encode() }
+
+// DecodeCheckpointBytes parses an encoded checkpoint (the replication
+// snapshot wire format), verifying the magic and trailing CRC.
+func DecodeCheckpointBytes(data []byte) (*Checkpoint, error) {
+	return decodeCheckpoint(data)
+}
+
 func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
 		return nil, fmt.Errorf("wal: not a checkpoint file")

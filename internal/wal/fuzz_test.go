@@ -33,6 +33,76 @@ func FuzzDecodeRecord(f *testing.F) {
 	})
 }
 
+// FuzzReplRecordStream asserts the streaming frame parser is total and
+// chunking-invariant: feeding arbitrary bytes in arbitrary chunk sizes
+// (buffering on ErrShortFrame, exactly as a replication follower does)
+// yields the same frame sequence as parsing the whole buffer at once, and
+// never panics. This is the property that lets the follower accept segment
+// bytes split at any boundary the transport or a fault injector picks.
+func FuzzReplRecordStream(f *testing.F) {
+	var good []byte
+	good = appendFrame(good, Intern(1, "s"))
+	good = appendFrame(good, Insert(0, relation.Tuple{1, 2}))
+	good = appendFrame(good, Delete(0, relation.Tuple{1, 2}))
+	f.Add(good, uint8(3))
+	f.Add(good[:len(good)-3], uint8(1))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}, uint8(5))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		// Whole-buffer parse.
+		var whole [][]byte
+		wholeCorrupt := false
+		rest := data
+		for {
+			payload, n, err := NextStreamFrame(rest)
+			if err == ErrShortFrame {
+				break
+			}
+			if err != nil {
+				wholeCorrupt = true
+				break
+			}
+			whole = append(whole, append([]byte(nil), payload...))
+			rest = rest[n:]
+		}
+
+		// Chunked parse: deliver data in chunk-sized pieces, buffering
+		// short frames across chunk boundaries.
+		size := int(chunk)%64 + 1
+		var chunked [][]byte
+		chunkedCorrupt := false
+		var buf []byte
+		src := data
+		for len(src) > 0 && !chunkedCorrupt {
+			n := size
+			if n > len(src) {
+				n = len(src)
+			}
+			buf = append(buf, src[:n]...)
+			src = src[n:]
+			for {
+				payload, fn, err := NextStreamFrame(buf)
+				if err == ErrShortFrame {
+					break
+				}
+				if err != nil {
+					chunkedCorrupt = true
+					break
+				}
+				chunked = append(chunked, append([]byte(nil), payload...))
+				buf = buf[fn:]
+			}
+		}
+
+		if wholeCorrupt != chunkedCorrupt {
+			t.Fatalf("corruption verdict differs: whole %v chunked %v", wholeCorrupt, chunkedCorrupt)
+		}
+		if !reflect.DeepEqual(whole, chunked) {
+			t.Fatalf("chunked parse diverges: whole %d frames, chunked %d", len(whole), len(chunked))
+		}
+	})
+}
+
 // FuzzDecodeCheckpoint asserts the checkpoint decoder is total over
 // arbitrary bytes.
 func FuzzDecodeCheckpoint(f *testing.F) {
