@@ -1,0 +1,350 @@
+package indep
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"indep/internal/engine"
+	"indep/internal/obs"
+	"indep/internal/relation"
+	"indep/internal/wal"
+)
+
+// This file is the length-prefixed binary wire protocol for the hot
+// ingest/scan path: a batch encoding clients POST to /v1/batchbin, and a
+// binary window-result encoding the daemon serves under
+// Accept: application/x-indep-bin. Both sides avoid encoding/json entirely.
+//
+// A binary batch is a sequence of WAL record frames — the exact CRC32-framed
+// bytes the log itself writes (wal.AppendRecordFrame) — so the wire format
+// inherits the log's encoder, decoder, and corruption detection instead of
+// defining a second serialization. Values travel as client-local integer ids
+// bound by intern records; the server re-interns each name and remaps ids,
+// so a batch is self-contained and ids never leak between requests.
+
+// BinContentType is the media type of both binary wire encodings: the
+// request body of POST /v1/batchbin and the window response the daemon
+// serves when the Accept header names it.
+const BinContentType = "application/x-indep-bin"
+
+// BinBatchEncoder builds the binary request body for POST /v1/batchbin (or
+// ConcurrentStore.ApplyBinBatch directly). Rows accumulate with Add; Bytes
+// renders the frames. The encoder interns value names into a client-local id
+// space and emits one intern frame per distinct name, so a batch that reuses
+// values (the common ingest shape) carries each name once.
+//
+// An encoder is not safe for concurrent use.
+type BinBatchEncoder struct {
+	sch    *Schema
+	vals   map[string]relation.Value // name → client-local id
+	next   relation.Value
+	frames []byte // framed intern records, in first-use order
+	ops    []wal.TupleOp
+}
+
+// NewBinBatchEncoder creates an empty encoder for the schema. The schema
+// fixes each relation's attribute order, which is the tuple's value order on
+// the wire — client and server must be opened from the same declaration.
+func NewBinBatchEncoder(sch *Schema) *BinBatchEncoder {
+	return &BinBatchEncoder{sch: sch, vals: make(map[string]relation.Value)}
+}
+
+// intern returns the client-local id for a value name, emitting its binding
+// frame on first use.
+func (e *BinBatchEncoder) intern(name string) relation.Value {
+	if v, ok := e.vals[name]; ok {
+		return v
+	}
+	e.next++
+	e.vals[name] = e.next
+	e.frames = wal.AppendRecordFrame(e.frames, wal.Intern(e.next, name))
+	return e.next
+}
+
+// Add appends one row to the batch. All attributes of the relation scheme
+// must be present, exactly as for ConcurrentStore.Insert.
+func (e *BinBatchEncoder) Add(rel string, row map[string]string) error {
+	i, t, err := rowTuple(e.sch.s, e.intern, rel, row)
+	if err != nil {
+		return err
+	}
+	e.ops = append(e.ops, wal.TupleOp{Rel: i, Tuple: t})
+	return nil
+}
+
+// Len returns the number of rows added since the last Reset.
+func (e *BinBatchEncoder) Len() int { return len(e.ops) }
+
+// Bytes renders the batch: the intern frames followed by one atomic batch
+// frame holding every added row. The result is self-contained — it binds
+// every id it references — and decodes with ApplyBinBatch.
+func (e *BinBatchEncoder) Bytes() []byte {
+	buf := append([]byte(nil), e.frames...)
+	if len(e.ops) > 0 {
+		buf = wal.AppendRecordFrame(buf, wal.Batch(e.ops))
+	}
+	return buf
+}
+
+// Reset empties the encoder for the next batch, including the intern table:
+// each Bytes result must be self-contained, so bindings cannot carry over.
+func (e *BinBatchEncoder) Reset() {
+	clear(e.vals)
+	e.next = 0
+	e.frames = e.frames[:0]
+	e.ops = e.ops[:0]
+}
+
+// ApplyBinBatch decodes a binary batch (a BinBatchEncoder payload) and
+// inserts its rows atomically, returning how many rows were admitted: either
+// every row is admitted or the state is unchanged and the first violation is
+// returned. The decode path shares the WAL's frame and record parsers and
+// never touches encoding/json. Client-local value ids are remapped by
+// re-interning their bound names; a tuple referencing an unbound id, an
+// unknown relation, or a wrong arity is malformed (not a rejection).
+func (cs *ConcurrentStore) ApplyBinBatch(ctx context.Context, payload []byte) (int, error) {
+	ctx, sp := obs.StartSpan(ctx, "store.batchbin")
+	if sp.Recording() {
+		sp.SetInt("bytes", int64(len(payload)))
+	}
+	defer sp.End()
+	s := cs.schema.s
+	arity := make([]int, s.Size())
+	for i := range arity {
+		arity[i] = s.Attrs(i).Len()
+	}
+	names := make(map[relation.Value]string) // client id → name (rebind check)
+	remap := make(map[relation.Value]relation.Value)
+	var eops []engine.Op
+	for buf := payload; len(buf) > 0; {
+		pl, n, err := wal.NextStreamFrame(buf)
+		if err != nil { // ErrShortFrame included: a truncated body is malformed
+			return 0, fmt.Errorf("indep: binary batch: %w", err)
+		}
+		rec, err := wal.DecodeRecord(pl)
+		if err != nil {
+			return 0, fmt.Errorf("indep: binary batch: %w", err)
+		}
+		buf = buf[n:]
+		switch rec.Kind {
+		case wal.KindIntern:
+			if prev, dup := names[rec.Value]; dup && prev != rec.Name {
+				return 0, fmt.Errorf("indep: binary batch rebinds id %d (%q, then %q)",
+					int64(rec.Value), prev, rec.Name)
+			}
+			names[rec.Value] = rec.Name
+			remap[rec.Value] = cs.eng.Dict().Value(rec.Name)
+		case wal.KindInsert, wal.KindBatch:
+			for _, op := range rec.Ops {
+				if op.Rel < 0 || op.Rel >= len(arity) {
+					return 0, fmt.Errorf("indep: binary batch addresses relation %d (schema has %d)",
+						op.Rel, len(arity))
+				}
+				if len(op.Tuple) != arity[op.Rel] {
+					return 0, fmt.Errorf("indep: binary batch: %s tuple has %d values, want %d",
+						s.Name(op.Rel), len(op.Tuple), arity[op.Rel])
+				}
+				t := make(relation.Tuple, len(op.Tuple))
+				for j, v := range op.Tuple {
+					sv, ok := remap[v]
+					if !ok {
+						return 0, fmt.Errorf("indep: binary batch references unbound value id %d", int64(v))
+					}
+					t[j] = sv
+				}
+				eops = append(eops, engine.Op{Scheme: op.Rel, Tuple: t})
+			}
+		default:
+			return 0, fmt.Errorf("indep: binary batch: unsupported record kind %d", rec.Kind)
+		}
+	}
+	if len(eops) == 0 {
+		return 0, nil
+	}
+	if err := cs.eng.InsertBatchCtx(ctx, eops); err != nil {
+		return 0, err
+	}
+	return len(eops), nil
+}
+
+// Binary window-result layout (everything before the trailing checksum is
+// covered by it):
+//
+//	magic "IWIN1"
+//	flags byte               bit0 fastPath, bit1 planCached
+//	uvarint total            window rows before Limit
+//	uvarint nattrs           then per attribute: uvarint len, name bytes
+//	uvarint nbind            then per binding: varint value, uvarint len, name bytes
+//	uvarint nrows            then nrows × nattrs varint values
+//	uint32 LE                CRC32-Castagnoli of all preceding bytes
+//
+// Bindings cover exactly the values the rows reference, in first-appearance
+// order, so the result is self-contained and its size tracks the distinct
+// values, not the dictionary.
+var winMagic = []byte("IWIN1")
+
+var binCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeWindowBinary renders a sorted, limited window as the binary result.
+// at addresses the i-th emitted row's j-th column value.
+func encodeWindowBinary(dict *relation.Dict, names []string, nrows int,
+	at func(row, col int) relation.Value, total int, fast, cached bool) []byte {
+	buf := append([]byte(nil), winMagic...)
+	var flags byte
+	if fast {
+		flags |= 1
+	}
+	if cached {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(total))
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, nm := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(nm)))
+		buf = append(buf, nm...)
+	}
+	seen := make(map[relation.Value]bool)
+	vals := make([]relation.Value, 0, nrows)
+	for i := 0; i < nrows; i++ {
+		for j := range names {
+			if v := at(i, j); !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+			}
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	for _, v := range vals {
+		nm := dict.Name(v)
+		buf = binary.AppendVarint(buf, int64(v))
+		buf = binary.AppendUvarint(buf, uint64(len(nm)))
+		buf = append(buf, nm...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(nrows))
+	for i := 0; i < nrows; i++ {
+		for j := range names {
+			buf = binary.AppendVarint(buf, int64(at(i, j)))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, binCRC))
+}
+
+// DecodeWindowBinary parses a binary window result (WindowResult.Bin, or the
+// body of a /window response served as application/x-indep-bin) back into
+// the JSON-equivalent shape: rendered rows, total, and the plan flags.
+func DecodeWindowBinary(data []byte) (*WindowResult, error) {
+	if len(data) < len(winMagic)+1+4 || string(data[:len(winMagic)]) != string(winMagic) {
+		return nil, fmt.Errorf("indep: not a binary window result")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, binCRC) != sum {
+		return nil, fmt.Errorf("indep: binary window result fails checksum")
+	}
+	b := body[len(winMagic):]
+	flags := b[0]
+	b = b[1:]
+	readStr := func() (string, error) {
+		n, rest, err := readWireUvarint(b)
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(len(rest)) {
+			return "", fmt.Errorf("indep: binary window result: string length %d exceeds payload", n)
+		}
+		b = rest[n:]
+		return string(rest[:n]), nil
+	}
+	total, b2, err := readWireUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b2
+	nattrs, b2, err := readWireUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b2
+	if nattrs > uint64(len(b)) {
+		return nil, fmt.Errorf("indep: binary window result: %d attributes exceed payload", nattrs)
+	}
+	out := &WindowResult{
+		Attrs:      make([]string, nattrs),
+		Total:      int(total),
+		FastPath:   flags&1 != 0,
+		PlanCached: flags&2 != 0,
+	}
+	for i := range out.Attrs {
+		if out.Attrs[i], err = readStr(); err != nil {
+			return nil, err
+		}
+	}
+	nbind, b2, err := readWireUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b2
+	if nbind > uint64(len(b)) {
+		return nil, fmt.Errorf("indep: binary window result: %d bindings exceed payload", nbind)
+	}
+	bind := make(map[relation.Value]string, nbind)
+	for i := uint64(0); i < nbind; i++ {
+		v, rest, err := readWireVarint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		nm, err2 := readStr()
+		if err2 != nil {
+			return nil, err2
+		}
+		bind[relation.Value(v)] = nm
+	}
+	nrows, b2, err := readWireUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b2
+	if nattrs > 0 && nrows > uint64(len(b))/nattrs {
+		return nil, fmt.Errorf("indep: binary window result: %d rows exceed payload", nrows)
+	}
+	out.Rows = make([]map[string]string, nrows)
+	for i := range out.Rows {
+		row := make(map[string]string, nattrs)
+		for _, a := range out.Attrs {
+			v, rest, err := readWireVarint(b)
+			if err != nil {
+				return nil, err
+			}
+			b = rest
+			nm, ok := bind[relation.Value(v)]
+			if !ok {
+				return nil, fmt.Errorf("indep: binary window result references unbound value %d", v)
+			}
+			row[a] = nm
+		}
+		out.Rows[i] = row
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("indep: binary window result: %d trailing bytes", len(b))
+	}
+	return out, nil
+}
+
+func readWireUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("indep: binary window result: truncated uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func readWireVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("indep: binary window result: truncated varint")
+	}
+	return v, b[n:], nil
+}

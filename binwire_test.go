@@ -1,0 +1,297 @@
+package indep
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// binTestSchema is the paper's running example: independent, three schemes,
+// shared attributes across relations so interned values are reused.
+func binTestSchema(t testing.TB) *Schema {
+	t.Helper()
+	sch, err := Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+// binTestOps builds n valid rows cycling over the schema's relations, with
+// value reuse (every FD holds by construction: each value is a function of
+// its attribute and seed).
+func binTestOps(n int) []BatchOp {
+	rels := [][2]any{
+		{"CT", []string{"C", "T"}},
+		{"CS", []string{"C", "S"}},
+		{"CHR", []string{"C", "H", "R"}},
+	}
+	ops := make([]BatchOp, n)
+	for i := range ops {
+		rel := rels[i%len(rels)]
+		attrs := rel[1].([]string)
+		row := make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			row[a] = fmt.Sprintf("%s%d", a, i/len(rels)%7)
+		}
+		ops[i] = BatchOp{Rel: rel[0].(string), Row: row}
+	}
+	return ops
+}
+
+// TestBinBatchRoundTrip pins the wire contract: a 64-op encoder payload
+// applied through ApplyBinBatch yields exactly the state the JSON path's
+// InsertBatch yields for the same rows.
+func TestBinBatchRoundTrip(t *testing.T) {
+	sch := binTestSchema(t)
+	ops := binTestOps(64)
+
+	want, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.InsertBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	enc := NewBinBatchEncoder(sch)
+	for _, op := range ops {
+		if err := enc.Add(op.Rel, op.Row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc.Len() != 64 {
+		t.Fatalf("encoder holds %d ops, want 64", enc.Len())
+	}
+	got, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := got.ApplyBinBatch(context.Background(), enc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 64 {
+		t.Fatalf("ApplyBinBatch admitted %d rows, want 64", n)
+	}
+	if diffs := DiffDatabases(want.Snapshot(), got.Snapshot()); diffs != nil {
+		t.Fatalf("binary batch diverged from JSON path: %v", diffs)
+	}
+
+	// Reset must yield a self-contained next payload (bindings re-emitted).
+	enc.Reset()
+	if enc.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", enc.Len())
+	}
+	if err := enc.Add("CT", map[string]string{"C": "C0", "T": "T0"}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fresh.ApplyBinBatch(context.Background(), enc.Bytes()); err != nil || n != 1 {
+		t.Fatalf("post-Reset payload: n=%d err=%v", n, err)
+	}
+}
+
+// TestBinBatchAtomicReject: an FD-violating binary batch is rejected as a
+// whole and leaves the state unchanged.
+func TestBinBatchAtomicReject(t *testing.T) {
+	sch := binTestSchema(t)
+	cs, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewBinBatchEncoder(sch)
+	for _, row := range []map[string]string{
+		{"C": "cs101", "T": "jones"},
+		{"C": "cs101", "T": "smith"}, // violates C -> T
+	} {
+		if err := enc.Add("CT", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := cs.ApplyBinBatch(context.Background(), enc.Bytes())
+	if !Rejected(err) {
+		t.Fatalf("want rejection, got n=%d err=%v", n, err)
+	}
+	if cs.Rows() != 0 {
+		t.Fatalf("rejected batch left %d rows", cs.Rows())
+	}
+}
+
+// TestBinBatchMalformed: structurally bad payloads are errors (never
+// rejections, never panics) and leave the state unchanged.
+func TestBinBatchMalformed(t *testing.T) {
+	sch := binTestSchema(t)
+	cs, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewBinBatchEncoder(sch)
+	if err := enc.Add("CT", map[string]string{"C": "c", "T": "t"}); err != nil {
+		t.Fatal(err)
+	}
+	valid := enc.Bytes()
+	cases := map[string][]byte{
+		"truncated":   valid[:len(valid)-3],
+		"corrupted":   append(append([]byte(nil), valid[:len(valid)-1]...), valid[len(valid)-1]^0xff),
+		"empty frame": {0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, payload := range cases {
+		n, err := cs.ApplyBinBatch(context.Background(), payload)
+		if err == nil || Rejected(err) {
+			t.Errorf("%s: want malformed error, got n=%d err=%v", name, n, err)
+		}
+	}
+	if cs.Rows() != 0 {
+		t.Fatalf("malformed payloads left %d rows", cs.Rows())
+	}
+}
+
+// TestWindowBinaryRoundTrip: the binary window result decodes to exactly the
+// JSON-shaped result, across projection, selection, and limit.
+func TestWindowBinaryRoundTrip(t *testing.T) {
+	sch := binTestSchema(t)
+	cs, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.InsertBatch(binTestOps(60)); err != nil {
+		t.Fatal(err)
+	}
+	queries := []WindowQuery{
+		{Attrs: []string{"C", "T"}},
+		{Attrs: []string{"C", "T", "S"}, Limit: 3},
+		{Attrs: []string{"C", "T"}, Where: map[string]string{"C": "C1"}},
+		{Attrs: []string{"C", "T"}, Project: []string{"T"}},
+		{Attrs: []string{"C"}, Where: map[string]string{"C": "never-seen"}},
+	}
+	for _, q := range queries {
+		want, err := cs.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.BinaryResult = true
+		res, err := cs.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows != nil || len(res.Bin) == 0 {
+			t.Fatalf("binary result: Rows=%v len(Bin)=%d", res.Rows, len(res.Bin))
+		}
+		got, err := DecodeWindowBinary(res.Bin)
+		if err != nil {
+			t.Fatalf("decode %v: %v", q.Attrs, err)
+		}
+		// PlanCached is excluded: the second run of the same attrs hits the
+		// plan cache by design, so the two results legitimately differ there.
+		if !reflect.DeepEqual(got.Attrs, want.Attrs) || got.Total != want.Total ||
+			got.FastPath != want.FastPath {
+			t.Fatalf("header mismatch: got %+v want %+v", got, want)
+		}
+		wrows := want.Rows
+		grows := got.Rows
+		if len(wrows) != len(grows) {
+			t.Fatalf("row count %d vs %d", len(grows), len(wrows))
+		}
+		for i := range wrows {
+			if !reflect.DeepEqual(grows[i], wrows[i]) {
+				t.Fatalf("row %d: got %v want %v", i, grows[i], wrows[i])
+			}
+		}
+	}
+}
+
+// FuzzDecodeBinaryBatch: arbitrary bytes through the full binary ingest path
+// must error or apply cleanly — never panic, never corrupt the store into a
+// state its own invariants reject.
+func FuzzDecodeBinaryBatch(f *testing.F) {
+	sch, err := Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := NewBinBatchEncoder(sch)
+	for _, op := range binTestOps(8) {
+		if err := enc.Add(op.Rel, op.Row); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(enc.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	cs, err := sch.OpenConcurrentStore()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		cs.ApplyBinBatch(context.Background(), payload)
+	})
+}
+
+// FuzzDecodeWindowBinary: the result decoder must reject arbitrary bytes
+// without panicking, and round-trip every valid encoding.
+func FuzzDecodeWindowBinary(f *testing.F) {
+	sch, err := Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		f.Fatal(err)
+	}
+	cs, err := sch.OpenConcurrentStore()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := cs.InsertBatch(binTestOps(12)); err != nil {
+		f.Fatal(err)
+	}
+	res, err := cs.Query(WindowQuery{Attrs: []string{"C", "T"}, BinaryResult: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(res.Bin)
+	f.Add([]byte("IWIN1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		DecodeWindowBinary(data)
+	})
+}
+
+// TestBinBatchRandomEquivalence drives random mixed batches through both
+// wire paths and requires identical states — the randomized analogue of the
+// 64-op pin.
+func TestBinBatchRandomEquivalence(t *testing.T) {
+	sch := binTestSchema(t)
+	rng := rand.New(rand.NewSource(9))
+	jsonStore, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	binStore, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewBinBatchEncoder(sch)
+	for round := 0; round < 50; round++ {
+		enc.Reset()
+		n := 1 + rng.Intn(20)
+		ops := make([]BatchOp, 0, n)
+		all := binTestOps(200)
+		for i := 0; i < n; i++ {
+			ops = append(ops, all[rng.Intn(len(all))])
+		}
+		for _, op := range ops {
+			if err := enc.Add(op.Rel, op.Row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		jerr := jsonStore.InsertBatch(ops)
+		_, berr := binStore.ApplyBinBatch(context.Background(), enc.Bytes())
+		if (jerr == nil) != (berr == nil) {
+			t.Fatalf("round %d: json err=%v bin err=%v", round, jerr, berr)
+		}
+	}
+	if diffs := DiffDatabases(jsonStore.Snapshot(), binStore.Snapshot()); diffs != nil {
+		t.Fatalf("random equivalence diverged: %v", diffs)
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"indep"
+)
+
+// TestBatchBinEndpoint pins the binary ingest contract end to end: a 64-op
+// BinBatchEncoder payload POSTed to /v1/batchbin lands atomically, and the
+// binary window response decodes to the ingested rows.
+func TestBatchBinEndpoint(t *testing.T) {
+	ts, store := newTestServer(t, "CT(C,T); CS(C,S)", "C -> T")
+	sch, err := indep.Parse("CT(C,T); CS(C,S)", "C -> T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := indep.NewBinBatchEncoder(sch)
+	for i := 0; i < 32; i++ {
+		c := fmt.Sprintf("c%d", i)
+		if err := enc.Add("CT", map[string]string{"C": c, "T": "t" + c}); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Add("CS", map[string]string{"C": c, "S": "s" + c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc.Len() != 64 {
+		t.Fatalf("encoder holds %d ops, want 64", enc.Len())
+	}
+	resp, err := http.Post(ts.URL+"/v1/batchbin", indep.BinContentType, bytes.NewReader(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batchbin: %s: %s", resp.Status, body)
+	}
+	if want := `{"status":"ok","accepted":64}` + "\n"; string(body) != want {
+		t.Fatalf("batchbin body %q, want %q", body, want)
+	}
+	if store.Rows() != 64 {
+		t.Fatalf("store has %d rows, want 64", store.Rows())
+	}
+
+	// Binary window read-back via the Accept header.
+	req, err := http.NewRequest("GET", ts.URL+"/v1/window?attrs=C,T&limit=5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", indep.BinContentType)
+	wresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wbody, _ := io.ReadAll(wresp.Body)
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("binary window: %s: %s", wresp.Status, wbody)
+	}
+	if ct := wresp.Header.Get("Content-Type"); ct != indep.BinContentType {
+		t.Fatalf("binary window Content-Type %q", ct)
+	}
+	res, err := indep.DecodeWindowBinary(wbody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 32 || len(res.Rows) != 5 {
+		t.Fatalf("binary window total=%d rows=%d, want 32/5", res.Total, len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row["T"] != "t"+row["C"] {
+			t.Fatalf("binary window row %v inconsistent", row)
+		}
+	}
+
+	// A rejecting binary batch maps to 409, same as the JSON path.
+	enc.Reset()
+	enc.Add("CT", map[string]string{"C": "c0", "T": "mismatch"})
+	resp, err = http.Post(ts.URL+"/v1/batchbin", indep.BinContentType, bytes.NewReader(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("rejecting batchbin: %s, want 409", resp.Status)
+	}
+
+	// A malformed body maps to 400.
+	resp, err = http.Post(ts.URL+"/v1/batchbin", indep.BinContentType, bytes.NewReader([]byte("not frames")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed batchbin: %s, want 400", resp.Status)
+	}
+}

@@ -29,9 +29,11 @@
 //
 //	POST   /insert      {"relation":"CT","row":{"C":"cs101","T":"jones"}}
 //	POST   /batch       {"ops":[{"relation":...,"row":{...}}, ...]}  (atomic)
+//	POST   /batchbin    length-prefixed binary batch (indep.BinBatchEncoder; atomic, JSON-free)
 //	DELETE /tuple       {"relation":"CT","row":{...}}
 //	POST   /checkpoint  snapshot state, truncate the log (durable only)
 //	GET    /window      ?attrs=C,T[&where=C=cs101&project=T&limit=10]
+//	                    (Accept: application/x-indep-bin streams the binary result)
 //	GET    /state       full state as JSON rows
 //	GET    /analysis    independence analysis
 //	GET    /stats       per-relation counters, latency quantiles, WAL depth
@@ -65,6 +67,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -268,6 +271,7 @@ func newServer(sch *indep.Schema, logger *slog.Logger, pprofOn bool, rec obs.Rec
 	}
 	handle("POST /insert", s.handleInsert)
 	handle("POST /batch", s.handleBatch)
+	handle("POST /batchbin", s.handleBatchBin)
 	handle("DELETE /tuple", s.handleDelete)
 	handle("POST /checkpoint", s.handleCheckpoint)
 	handle("GET /window", s.handleWindow)
@@ -420,6 +424,31 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "accepted": len(ops)})
 }
 
+// handleBatchBin ingests a length-prefixed binary batch (the payload a
+// indep.BinBatchEncoder builds): WAL record frames, decoded and applied
+// atomically without touching encoding/json anywhere on the path — the
+// response is written literally too.
+func (s *server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly(w) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	payload, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad body: " + err.Error()})
+		return
+	}
+	n, err := s.store.ApplyBinBatch(r.Context(), payload)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.noteVersion(w)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, `{"status":"ok","accepted":%d}`+"\n", n)
+}
+
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if s.readOnly(w) {
 		return
@@ -495,10 +524,21 @@ func (s *server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
+	// A client accepting the binary media type gets the streamed binary
+	// result: no rendered row maps, no JSON encode, counts carried in-band.
+	if strings.Contains(r.Header.Get("Accept"), indep.BinContentType) {
+		q.BinaryResult = true
+	}
 	start := time.Now()
 	res, err := s.store.QueryCtx(r.Context(), q)
 	if err != nil {
 		writeErr(w, err)
+		return
+	}
+	if q.BinaryResult {
+		w.Header().Set("Content-Type", indep.BinContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(res.Bin)
 		return
 	}
 	rows := res.Rows

@@ -78,7 +78,7 @@ func (db *Database) Tuples(rel string) ([]map[string]string, error) {
 	}
 	attrs := db.st.Schema.Attrs(i).Attrs()
 	out := make([]map[string]string, 0, db.st.Insts[i].Len())
-	for _, t := range db.st.Insts[i].Tuples {
+	for _, t := range db.st.Insts[i].Rows() {
 		row := make(map[string]string, len(attrs))
 		for j, a := range attrs {
 			row[db.st.Schema.U.Name(a)] = db.st.Dict.Name(t[j])

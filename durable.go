@@ -131,8 +131,8 @@ func (s *Schema) OpenDurableStore(dir string, opts DurableOptions) (*DurableStor
 	}
 	fromSeq := uint64(0)
 	if ck != nil {
-		if len(ck.Tuples) != s.s.Size() {
-			return nil, fmt.Errorf("indep: checkpoint has %d relations, schema has %d", len(ck.Tuples), s.s.Size())
+		if ck.NumSchemes() != s.s.Size() {
+			return nil, fmt.Errorf("indep: checkpoint has %d relations, schema has %d", ck.NumSchemes(), s.s.Size())
 		}
 		for _, e := range ck.Dict {
 			if err := eng.Dict().Restore(e.Value, e.Name); err != nil {
@@ -140,13 +140,13 @@ func (s *Schema) OpenDurableStore(dir string, opts DurableOptions) (*DurableStor
 			}
 		}
 		var ops []engine.Op
-		for i, tuples := range ck.Tuples {
+		for i := 0; i < ck.NumSchemes(); i++ {
 			want := s.s.Attrs(i).Len()
-			for _, t := range tuples {
-				if len(t) != want {
-					return nil, fmt.Errorf("indep: checkpoint tuple arity %d in %s (want %d)", len(t), s.s.Name(i), want)
-				}
-				ops = append(ops, engine.Op{Scheme: i, Tuple: t})
+			if ck.RowCount(i) > 0 && ck.Arity(i) != want {
+				return nil, fmt.Errorf("indep: checkpoint tuple arity %d in %s (want %d)", ck.Arity(i), s.s.Name(i), want)
+			}
+			for r := 0; r < ck.RowCount(i); r++ {
+				ops = append(ops, engine.Op{Scheme: i, Tuple: ck.AppendRow(make(relation.Tuple, 0, want), i, r)})
 			}
 		}
 		total := len(ops)

@@ -60,7 +60,7 @@ func TestFullReduceRemovesDanglers(t *testing.T) {
 		t.Fatalf("ok=%v changed=%v", ok, changed)
 	}
 	if reduced.Insts[0].Len() != 1 || !reduced.Insts[0].Has(relation.Tuple{1, 2}) {
-		t.Fatalf("reduced R1 = %v", reduced.Insts[0].Tuples)
+		t.Fatalf("reduced R1 = %v", reduced.Insts[0].Rows())
 	}
 	// Reduced state must be globally consistent.
 	if !GloballyConsistent(reduced) {

@@ -212,11 +212,19 @@ func (e *Engine) PadTuple(attrs []int, t relation.Tuple) {
 
 // PadState loads I(p): every tuple of every relation becomes a universal
 // row, constant in its scheme's columns and a fresh variable elsewhere.
+// Rows are materialized from the columnar arenas into one reused scratch
+// tuple — PadTuple copies what it needs.
 func (e *Engine) PadState(st *relation.State) {
+	var scratch relation.Tuple
 	for i, in := range st.Insts {
 		attrs := st.Schema.Attrs(i).Attrs()
-		for _, t := range in.Tuples {
-			e.PadTuple(attrs, t)
+		live := in.LiveMask()
+		for s, alive := range live {
+			if !alive {
+				continue
+			}
+			scratch = in.AppendRow(scratch[:0], int32(s))
+			e.PadTuple(attrs, scratch)
 		}
 	}
 }

@@ -83,7 +83,7 @@ func TestConsistentStateSatisfies(t *testing.T) {
 	// Weak instance must contain each relation in its projection.
 	for i, in := range st.Insts {
 		proj := w.Project(st.Schema.Attrs(i))
-		for _, tu := range in.Tuples {
+		for _, tu := range in.Rows() {
 			if !proj.Has(tu) {
 				t.Fatalf("weak instance does not contain relation %d tuple %v", i, tu)
 			}
@@ -105,7 +105,7 @@ func TestJDRuleAddsJoinTuples(t *testing.T) {
 	}
 	w := e.WeakInstance()
 	if !w.Has(relation.Tuple{1, 2, 3}) {
-		t.Fatalf("JD-rule must add (1,2,3); weak instance: %v", w.Tuples)
+		t.Fatalf("JD-rule must add (1,2,3); weak instance: %v", w.Rows())
 	}
 }
 
@@ -233,7 +233,7 @@ func TestWeakInstanceVariablesDistinct(t *testing.T) {
 	}
 	// All variable placeholders are negative and distinct within the result.
 	seen := map[relation.Value]int{}
-	for _, tu := range w.Tuples {
+	for _, tu := range w.Rows() {
 		for _, v := range tu {
 			if v < 0 {
 				seen[v]++

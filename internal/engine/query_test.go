@@ -89,10 +89,10 @@ func TestEngineWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res.Rows.Len() != 1 {
-		t.Fatalf("window [S T]: %v", res.Rows.Tuples)
+		t.Fatalf("window [S T]: %v", res.Rows.Rows())
 	}
 	// Columns follow ascending universe order: T (from CT) before S.
-	row := res.Rows.Tuples[0]
+	row := res.Rows.Rows()[0]
 	if st.Dict.Name(row[0]) != "jones" || st.Dict.Name(row[1]) != "ada" {
 		t.Fatalf("window row renders as (%s,%s)", st.Dict.Name(row[0]), st.Dict.Name(row[1]))
 	}

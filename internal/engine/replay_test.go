@@ -15,8 +15,8 @@ import (
 // sortedTuples returns an instance's tuples in a canonical order, for
 // set-wise comparison.
 func sortedTuples(in *relation.Instance) []relation.Tuple {
-	out := make([]relation.Tuple, len(in.Tuples))
-	for i, t := range in.Tuples {
+	out := make([]relation.Tuple, len(in.Rows()))
+	for i, t := range in.Rows() {
 		out[i] = t.Clone()
 	}
 	sort.Slice(out, func(i, j int) bool {

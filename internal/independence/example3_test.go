@@ -106,18 +106,18 @@ func TestExample3WitnessMatchesPaperState(t *testing.T) {
 	}
 	r1 := w.Insts[s.IndexOf("R1")]
 	if r1.Len() != 1 || !r1.Has(relation.Tuple{0, 0}) {
-		t.Fatalf("r1 = %v, want {(0,0)}", r1.Tuples)
+		t.Fatalf("r1 = %v, want {(0,0)}", r1.Rows())
 	}
 	r2 := w.Insts[s.IndexOf("R2")]
 	if r2.Len() != 3 {
 		t.Fatalf("r2 has %d tuples, want 3", r2.Len())
 	}
 	if !r2.Has(relation.Tuple{1, 1, 0, 0, 1}) {
-		t.Fatalf("r2 missing the (1,1,0,0,1) row: %v", r2.Tuples)
+		t.Fatalf("r2 missing the (1,1,0,0,1) row: %v", r2.Rows())
 	}
 	// The two derivation rows: zero exactly on {A1,A2} and {B1,B2}.
 	var shapes []string
-	for _, tu := range r2.Tuples {
+	for _, tu := range r2.Rows() {
 		mask := ""
 		for _, v := range tu {
 			if v == 0 {

@@ -91,9 +91,10 @@ func (ar *AcceptedRun) Complete(st *relation.State, t relation.Tuple) *relation.
 	// value.
 	var maxV relation.Value
 	for _, in := range st.Insts {
-		for _, tu := range in.Tuples {
-			for _, v := range tu {
-				if v > maxV {
+		live := in.LiveMask()
+		for c := 0; c < in.Width(); c++ {
+			for s, v := range in.Col(c) {
+				if live[s] && v > maxV {
 					maxV = v
 				}
 			}

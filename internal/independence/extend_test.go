@@ -108,7 +108,7 @@ func TestExtendTupleAgreesWithChase(t *testing.T) {
 		w := e.WeakInstance()
 		csAttrs := s.Attrs(cs)
 		var chasedRow relation.Tuple
-		for _, row := range w.Tuples {
+		for _, row := range w.Rows() {
 			match := true
 			for j, a := range csAttrs.Attrs() {
 				if row[a] != target[j] {

@@ -94,7 +94,7 @@ func TestLosslessJoinAgreesWithJoinSemantics(t *testing.T) {
 		if joined.Len() != inst.Len() {
 			t.Fatalf("lossy join on satisfying instance: %d vs %d", joined.Len(), inst.Len())
 		}
-		for _, tu := range inst.Tuples {
+		for _, tu := range inst.Rows() {
 			if !joined.Has(tu) {
 				t.Fatal("join lost a tuple")
 			}

@@ -185,7 +185,7 @@ func TestGuardMatchesStringKeyedReference(t *testing.T) {
 				t.Fatalf("trial %d: scheme %d sizes diverge: %d vs %d",
 					trial, i, g.State().Insts[i].Len(), ref.st.Insts[i].Len())
 			}
-			for _, tu := range ref.st.Insts[i].Tuples {
+			for _, tu := range ref.st.Insts[i].Rows() {
 				if !g.State().Insts[i].Has(tu) {
 					t.Fatalf("trial %d: scheme %d missing %v", trial, i, tu)
 				}

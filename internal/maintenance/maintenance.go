@@ -49,13 +49,16 @@ type Maintainer interface {
 // values to the unique right-hand-side values, making inserts O(|F_i|).
 //
 // The indexes are binary: a left-hand side is keyed by the 64-bit hash of
-// its values, and each index entry holds a witness tuple (the instance's
-// own stored copy) whose columns resolve both hash collisions and the
-// right-hand-side comparison — no string keys are built anywhere. Entries
-// live in a per-FD arena with a free list, and per-scheme probe scratch is
-// preallocated, so steady-state inserts, duplicate inserts, rejections,
-// and insert/delete cycles allocate nothing beyond the instance's own
-// stored clone of a freshly admitted tuple.
+// its values, and each index entry holds witness values (the lhs and rhs
+// columns of some admitted tuple, copied into a flat per-FD value arena)
+// that resolve both hash collisions and the right-hand-side comparison —
+// no string keys are built anywhere. The guard owns the witness values
+// outright: the relation's columnar storage recycles row slots on delete,
+// so an entry may never reference instance storage. Entries live in a
+// per-FD arena with a free list (a recycled entry reuses its value block),
+// and per-scheme probe scratch is preallocated, so steady-state inserts,
+// duplicate inserts, rejections, and insert/delete cycles allocate
+// nothing.
 type Guard struct {
 	s       *schema.Schema
 	st      *relation.State
@@ -69,9 +72,14 @@ type guardFD struct {
 	rhsCols []int
 	index   map[uint64]int32 // lhs hash → head of entry chain in the arena
 	entries []fdEntry        // arena; slots recycled through free
+	vals    []relation.Value // witness values, entries[e] owns the fixed-width block at e*width
 	free    []int32
 	errViol error // precomputed: the message depends only on (FD, scheme)
 }
+
+// width is the size of one entry's witness block in vals: the lhs values
+// followed by the rhs values.
+func (gf *guardFD) width() int { return len(gf.lhsCols) + len(gf.rhsCols) }
 
 // probe records one FD's lookup during the verify phase so the commit
 // phase can reuse it: the lhs hash and the matched entry (-1 when the lhs
@@ -81,14 +89,15 @@ type probe struct {
 	entry int32
 }
 
-// fdEntry records one left-hand-side binding: a witness tuple carrying the
-// lhs and rhs values (any tuple with this lhs agrees on the rhs while the
-// FD holds, so even a later-deleted witness stays valid), a reference count
-// of the distinct tuples sharing the binding, and the next entry on the
-// same hash chain (-1 ends it). Deletes decrement and recycle the slot at
-// zero, so a value binding is forgotten as soon as no tuple witnesses it.
+// fdEntry records one left-hand-side binding: a reference count of the
+// distinct tuples sharing the binding and the next entry on the same hash
+// chain (-1 ends it). The binding's witness values — the lhs and rhs of
+// some admitted tuple; any tuple with this lhs agrees on the rhs while the
+// FD holds, so even a later-deleted witness stays valid — live in the
+// owning guardFD's vals arena at the entry's fixed-width block. Deletes
+// decrement and recycle the slot at zero, so a value binding is forgotten
+// as soon as no tuple witnesses it.
 type fdEntry struct {
-	wit  relation.Tuple
 	n    int32
 	next int32
 }
@@ -129,6 +138,30 @@ func NewGuard(s *schema.Schema, cover infer.AssignedList) *Guard {
 	return g
 }
 
+// lhsAgrees reports whether entry e's witness lhs values equal t's values
+// at the lhs columns.
+func (gf *guardFD) lhsAgrees(e int32, t relation.Tuple) bool {
+	w := gf.vals[int(e)*gf.width():]
+	for i, c := range gf.lhsCols {
+		if w[i] != t[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// rhsAgrees reports whether entry e's witness rhs values equal t's values
+// at the rhs columns.
+func (gf *guardFD) rhsAgrees(e int32, t relation.Tuple) bool {
+	w := gf.vals[int(e)*gf.width()+len(gf.lhsCols):]
+	for i, c := range gf.rhsCols {
+		if w[i] != t[c] {
+			return false
+		}
+	}
+	return true
+}
+
 // lookup walks the hash chain for h and returns the entry whose witness
 // agrees with t on the lhs columns, or -1.
 func (gf *guardFD) lookup(h uint64, t relation.Tuple) int32 {
@@ -137,16 +170,17 @@ func (gf *guardFD) lookup(h uint64, t relation.Tuple) int32 {
 		return -1
 	}
 	for e := head; e >= 0; e = gf.entries[e].next {
-		if relation.AgreeAt(gf.entries[e].wit, t, gf.lhsCols) {
+		if gf.lhsAgrees(e, t) {
 			return e
 		}
 	}
 	return -1
 }
 
-// insertEntry records a fresh lhs binding witnessed by wit, reusing a free
-// arena slot when one exists.
-func (gf *guardFD) insertEntry(h uint64, wit relation.Tuple) {
+// insertEntry records a fresh lhs binding witnessed by t's lhs and rhs
+// values (copied into the value arena), reusing a free arena slot — and
+// its value block — when one exists.
+func (gf *guardFD) insertEntry(h uint64, t relation.Tuple) {
 	next := int32(-1)
 	if head, ok := gf.index[h]; ok {
 		next = head
@@ -155,10 +189,20 @@ func (gf *guardFD) insertEntry(h uint64, wit relation.Tuple) {
 	if n := len(gf.free); n > 0 {
 		slot = gf.free[n-1]
 		gf.free = gf.free[:n-1]
-		gf.entries[slot] = fdEntry{wit: wit, n: 1, next: next}
+		gf.entries[slot] = fdEntry{n: 1, next: next}
 	} else {
 		slot = int32(len(gf.entries))
-		gf.entries = append(gf.entries, fdEntry{wit: wit, n: 1, next: next})
+		gf.entries = append(gf.entries, fdEntry{n: 1, next: next})
+		for i := 0; i < gf.width(); i++ { // zero-extend without a temp slice
+			gf.vals = append(gf.vals, 0)
+		}
+	}
+	w := gf.vals[int(slot)*gf.width():]
+	for i, c := range gf.lhsCols {
+		w[i] = t[c]
+	}
+	for i, c := range gf.rhsCols {
+		w[len(gf.lhsCols)+i] = t[c]
 	}
 	gf.index[h] = slot
 }
@@ -179,7 +223,7 @@ func (gf *guardFD) removeEntry(h uint64, e int32) {
 			}
 		}
 	}
-	gf.entries[e] = fdEntry{next: -1}
+	gf.entries[e] = fdEntry{next: -1} // witness block in vals is reused as-is on recycle
 	gf.free = append(gf.free, e)
 }
 
@@ -205,7 +249,7 @@ func (g *Guard) InsertReport(scheme int, t relation.Tuple) (bool, error) {
 		gf := &fds[j]
 		h := relation.HashCols(t, gf.lhsCols)
 		e := gf.lookup(h, t)
-		if e >= 0 && !relation.AgreeAt(gf.entries[e].wit, t, gf.rhsCols) {
+		if e >= 0 && !gf.rhsAgrees(e, t) {
 			return false, gf.errViol
 		}
 		probes[j] = probe{h: h, entry: e}
@@ -213,16 +257,15 @@ func (g *Guard) InsertReport(scheme int, t relation.Tuple) (bool, error) {
 	if !g.st.Insts[scheme].Add(t) {
 		return false, nil // duplicate tuple: state and indexes unchanged
 	}
-	// The instance's stored clone outlives the caller's tuple; new entries
-	// witness through it so the guard owns no second copy.
-	inst := g.st.Insts[scheme]
-	stored := inst.Tuples[inst.Len()-1]
+	// New entries copy t's witness values into the guard's own arena — the
+	// instance's columnar storage recycles row slots, so nothing there is
+	// stable enough to reference.
 	for j := range fds {
 		gf := &fds[j]
 		if e := probes[j].entry; e >= 0 {
 			gf.entries[e].n++
 		} else {
-			gf.insertEntry(probes[j].h, stored)
+			gf.insertEntry(probes[j].h, t)
 		}
 	}
 	return true, nil

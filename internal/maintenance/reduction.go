@@ -70,7 +70,7 @@ func BuildReduction(u *attrset.Universe, r *relation.Instance, schemes []attrset
 	// s = r extended with A=a, B=b on every tuple; t1 = t extended with
 	// fresh values on U−X, A=a, B fresh.
 	ext := relation.NewInstance(u2.All())
-	for _, tu := range r.Tuples {
+	for _, tu := range r.Rows() {
 		row := make(relation.Tuple, n+2)
 		copy(row, tu)
 		row[aIdx] = aVal

@@ -291,21 +291,37 @@ func evalFast(p *Plan, st *relation.State) *relation.Instance {
 	out := relation.NewInstance(p.X)
 	cols := p.X.Attrs()
 	proj := make(relation.Tuple, len(cols))
+	var src [][]relation.Value
+	var scratch relation.Tuple
 	for i, l := range p.Schemes {
 		if p.local[i] {
+			// Stream the projected columns contiguously: one arena slice per
+			// output column, walked in slot order with no per-row object.
 			inst := st.Insts[l]
 			colPos := relation.ProjectionCols(inst.Attrs, p.X)
-			for _, t := range inst.Tuples {
-				for j, c := range colPos {
-					proj[j] = t[c]
+			src = src[:0]
+			for _, c := range colPos {
+				src = append(src, inst.Col(c))
+			}
+			for s, alive := range inst.LiveMask() {
+				if !alive {
+					continue
+				}
+				for j := range src {
+					proj[j] = src[j][s]
 				}
 				out.Add(proj)
 			}
 			continue
 		}
 		run := p.runs[i]
-		for _, t := range st.Insts[l].Tuples {
-			ext, determined := run.ExtendTuple(st, t)
+		inst := st.Insts[l]
+		for s, alive := range inst.LiveMask() {
+			if !alive {
+				continue
+			}
+			scratch = inst.AppendRow(scratch[:0], int32(s))
+			ext, determined := run.ExtendTuple(st, scratch)
 			if !p.X.SubsetOf(determined) {
 				continue
 			}

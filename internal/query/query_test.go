@@ -47,7 +47,7 @@ func sameInstance(a, b *relation.Instance) bool {
 	if a.Attrs != b.Attrs || a.Len() != b.Len() {
 		return false
 	}
-	for _, t := range a.Tuples {
+	for _, t := range a.Rows() {
 		if !b.Has(t) {
 			return false
 		}
@@ -102,7 +102,7 @@ func TestWindowIndependentFastPath(t *testing.T) {
 		}
 		if oracle := oracleWindow(t, s, fds, st, x); !sameInstance(res.Rows, oracle) {
 			t.Fatalf("window [%s] disagrees with the chase oracle:\nfast: %v\noracle: %v",
-				c.attrs, res.Rows.Tuples, oracle.Tuples)
+				c.attrs, res.Rows.Rows(), oracle.Rows())
 		}
 	}
 }
@@ -141,7 +141,7 @@ func TestWindowMatchesOracleRandom(t *testing.T) {
 				oracle := oracleWindow(t, s, fds, st, x)
 				if !sameInstance(res.Rows, oracle) {
 					t.Fatalf("%s: window [%s] over\n%s\nfast %v != oracle %v",
-						s, s.U.Format(x, " "), st, res.Rows.Tuples, oracle.Tuples)
+						s, s.U.Format(x, " "), st, res.Rows.Rows(), oracle.Rows())
 				}
 			}
 		}
@@ -172,11 +172,11 @@ func TestWindowChaseFallback(t *testing.T) {
 		t.Fatal("expected chase evaluation")
 	}
 	if res.Rows.Len() != 1 {
-		t.Fatalf("window [A C] = %v, want exactly (a1,c1)", res.Rows.Tuples)
+		t.Fatalf("window [A C] = %v, want exactly (a1,c1)", res.Rows.Rows())
 	}
 	want := relation.Tuple{st.Dict.Value("a1"), st.Dict.Value("c1")}
 	if !res.Rows.Has(want) {
-		t.Fatalf("window [A C] = %v, want %v", res.Rows.Tuples, want)
+		t.Fatalf("window [A C] = %v, want %v", res.Rows.Rows(), want)
 	}
 }
 
@@ -199,7 +199,7 @@ func TestWindowNonIndependentLoopRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res.Rows.Len() != 1 {
-		t.Fatalf("window [C T D] = %v", res.Rows.Tuples)
+		t.Fatalf("window [C T D] = %v", res.Rows.Rows())
 	}
 	if oracle := oracleWindow(t, s, fds, st, s.U.Set("C", "T", "D")); !sameInstance(res.Rows, oracle) {
 		t.Fatal("fallback disagrees with the oracle (they should be the same computation)")

@@ -33,16 +33,20 @@ func TestInstanceProbesAllocationFree(t *testing.T) {
 	}
 }
 
-func TestMatchingTuplesSteadyStateAllocationFree(t *testing.T) {
+func TestMatchingRowsSteadyStateAllocationFree(t *testing.T) {
 	in := NewInstance(attrset.Of(0, 1))
 	for i := 0; i < 128; i++ {
 		in.Add(Tuple{Value(i % 16), Value(i)})
 	}
 	cols := []int{0}
 	want := []Value{3}
-	in.MatchingTuples(cols, want) // build the index
-	if n := testing.AllocsPerRun(200, func() { in.MatchingTuples(cols, want) }); n != 0 {
-		t.Errorf("warmed MatchingTuples probe allocates %v per run", n)
+	in.MatchingRows(cols, want) // build the index
+	if n := testing.AllocsPerRun(200, func() { in.MatchingRows(cols, want) }); n != 0 {
+		t.Errorf("warmed MatchingRows probe allocates %v per run", n)
+	}
+	in.LiveRows() // build the live-slot cache
+	if n := testing.AllocsPerRun(200, func() { in.MatchingRows(nil, nil) }); n != 0 {
+		t.Errorf("warmed full-scan probe allocates %v per run", n)
 	}
 }
 
@@ -133,24 +137,29 @@ func TestHashedIndexMatchesStringIndex(t *testing.T) {
 	}
 }
 
-// TestMatchingTuplesMatchesScan cross-checks the secondary hash index
-// against a straight scan on random data and random column subsets.
-func TestMatchingTuplesMatchesScan(t *testing.T) {
+// TestMatchingRowsMatchesScan cross-checks the secondary hash index
+// against a straight scan on random data and random column subsets,
+// interleaving deletes so vacated slots can never surface as matches.
+func TestMatchingRowsMatchesScan(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	in := NewInstance(attrset.Of(0, 1, 2, 3))
 	for i := 0; i < 500; i++ {
 		in.Add(Tuple{Value(r.Intn(5)), Value(r.Intn(5)), Value(r.Intn(5)), Value(r.Intn(5))})
 	}
 	for q := 0; q < 200; q++ {
+		if q%10 == 5 { // churn the free list between probe batches
+			in.Remove(Tuple{Value(r.Intn(5)), Value(r.Intn(5)), Value(r.Intn(5)), Value(r.Intn(5))})
+			in.Add(Tuple{Value(r.Intn(5)), Value(r.Intn(5)), Value(r.Intn(5)), Value(r.Intn(5))})
+		}
 		nc := 1 + r.Intn(3)
 		cols := r.Perm(4)[:nc]
 		want := make([]Value, nc)
 		for i := range want {
 			want[i] = Value(r.Intn(5))
 		}
-		got := in.MatchingTuples(cols, want)
+		got := in.MatchingRows(cols, want)
 		n := 0
-		for _, tu := range in.Tuples {
+		for _, tu := range in.Rows() {
 			ok := true
 			for i, c := range cols {
 				if tu[c] != want[i] {
@@ -165,10 +174,13 @@ func TestMatchingTuplesMatchesScan(t *testing.T) {
 		if len(got) != n {
 			t.Fatalf("query %d cols=%v want=%v: %d matches, scan says %d", q, cols, want, len(got), n)
 		}
-		for _, tu := range got {
+		for _, s := range got {
+			if !in.Alive(s) {
+				t.Fatalf("query %d: matched a dead slot %d", q, s)
+			}
 			for i, c := range cols {
-				if tu[c] != want[i] {
-					t.Fatalf("query %d: tuple %v does not match cols=%v want=%v", q, tu, cols, want)
+				if in.At(s, c) != want[i] {
+					t.Fatalf("query %d: slot %d does not match cols=%v want=%v", q, s, cols, want)
 				}
 			}
 		}

@@ -1,0 +1,73 @@
+package relation
+
+import (
+	"testing"
+
+	"indep/internal/attrset"
+)
+
+// benchInstance builds a width-column instance with rows distinct live rows.
+func benchInstance(b *testing.B, width, rows int) *Instance {
+	b.Helper()
+	var attrs attrset.Set
+	for a := 0; a < width; a++ {
+		attrs.Add(a)
+	}
+	in := NewInstance(attrs)
+	t := make(Tuple, width)
+	for r := 0; r < rows; r++ {
+		for c := range t {
+			t[c] = Value(r*width + c)
+		}
+		if !in.Add(t) {
+			b.Fatal("duplicate row in setup")
+		}
+	}
+	return in
+}
+
+// BenchmarkWindowScanBandwidth measures the raw scan rate of the storage
+// layout over a wide instance (16 columns, 50k rows), with b.SetBytes
+// reporting effective memory bandwidth so layout regressions show up as
+// MB/s, not just ns/op.
+//
+// project is the window-render access pattern — every live row gathered
+// into a scratch tuple, row-major over the column arenas. columns is the
+// streaming pattern selective scans and checkpoint encoding use — each
+// column arena walked contiguously.
+func BenchmarkWindowScanBandwidth(b *testing.B) {
+	const width, rows = 16, 50000
+	in := benchInstance(b, width, rows)
+	live := in.LiveRows()
+	b.Run("project", func(b *testing.B) {
+		proj := make(Tuple, width)
+		b.SetBytes(int64(width * rows * 8))
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink Value
+		for i := 0; i < b.N; i++ {
+			for _, s := range live {
+				proj = in.AppendRow(proj[:0], s)
+				sink += proj[0]
+			}
+		}
+		_ = sink
+	})
+	b.Run("columns", func(b *testing.B) {
+		b.SetBytes(int64(width * rows * 8))
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sum Value
+		for i := 0; i < b.N; i++ {
+			for c := 0; c < width; c++ {
+				col := in.Col(c)
+				for _, s := range live {
+					sum += col[s]
+				}
+			}
+		}
+		if sum == 1 {
+			b.Fatal("impossible") // keep the scan from being optimized away
+		}
+	})
+}

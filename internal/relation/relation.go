@@ -4,6 +4,14 @@
 //
 // Values are integers; the optional Dict maps them to display names so the
 // paper's examples (CS402, Smith, …) read naturally.
+//
+// Storage is column-major: an instance keeps one contiguous []Value arena
+// per attribute, a row is an arena offset (its "slot"), and deletes push
+// slots onto a free list for reuse instead of moving rows. Tuple remains
+// the row-shaped interchange type — callers Add and probe with tuples, and
+// materialize them from slots on demand — but scans, joins, and checkpoint
+// encoding stream whole columns through cache without chasing per-row
+// pointers.
 package relation
 
 import (
@@ -148,83 +156,189 @@ func (t Tuple) Clone() Tuple {
 	return out
 }
 
-// Instance is a set of tuples over a relation scheme.
+// Instance is a set of tuples over a relation scheme, stored column-major:
+// cols[c][s] is the value of column c in row slot s. All column arenas have
+// equal length; live[s] marks occupied slots, and free holds vacated slots
+// for reuse, so a slot number is stable for the lifetime of its row.
 //
-// The primary index buckets tuples by their 64-bit content hash: pos holds
-// the first position seen for a hash, over the (rare) extra positions when
-// distinct tuples collide. Membership probes hash the tuple and compare
-// values — no string key is ever built, so Has and duplicate Adds are
-// allocation-free.
+// The primary index buckets rows by their 64-bit content hash: pos holds
+// the first slot seen for a hash, over the (rare) extra slots when distinct
+// rows collide. Membership probes hash the tuple and compare values column
+// by column — no string key is ever built, so Has and duplicate Adds are
+// allocation-free; a fresh Add writes straight into the arenas with no
+// per-row clone.
 type Instance struct {
-	Attrs  attrset.Set
-	Tuples []Tuple
-	pos    map[uint64]int32   // tuple hash → first position in Tuples
-	over   map[uint64][]int32 // additional positions on hash collision
+	Attrs attrset.Set
+	cols  [][]Value          // one arena per column; equal lengths = slot count
+	live  []bool             // live[s]: slot s holds a current row
+	free  []int32            // vacated slots, reused LIFO by Add
+	n     int                // live row count
+	pos   map[uint64]int32   // row hash → first slot
+	over  map[uint64][]int32 // additional slots on hash collision
 
-	// secondary holds lazily built hash indexes over column subsets,
-	// keyed by the column-position list (see MatchingTuples). Guarded by
-	// secMu (read-locked on probes, write-locked only to build) and
-	// dropped on every mutation, so it only persists — and amortizes — on
-	// immutable instances such as engine snapshots.
+	// secondary holds lazily built hash indexes over column subsets, keyed
+	// by the column-position list (see MatchingRows), plus the cached list
+	// of live slots for full scans. Guarded by secMu (read-locked on
+	// probes, write-locked only to build) and dropped on every mutation, so
+	// it only persists — and amortizes — on immutable instances such as
+	// engine snapshots.
 	secMu     sync.RWMutex
 	secondary map[uint64][]*colIndex
+	liveRows  []int32
 }
 
 // NewInstance creates an empty instance over the given scheme.
 func NewInstance(attrs attrset.Set) *Instance {
-	return &Instance{Attrs: attrs, pos: make(map[uint64]int32)}
+	return &Instance{
+		Attrs: attrs,
+		cols:  make([][]Value, attrs.Len()),
+		pos:   make(map[uint64]int32),
+	}
 }
 
-// Len returns the number of tuples.
-func (in *Instance) Len() int { return len(in.Tuples) }
+// Len returns the number of (live) tuples.
+func (in *Instance) Len() int { return in.n }
 
 // Width returns the arity of the instance.
 func (in *Instance) Width() int { return in.Attrs.Len() }
 
-// reindex (re)builds the hash index; callers may have constructed the
-// instance literally with a nil index.
-func (in *Instance) reindex() {
-	if in.pos == nil {
-		in.pos = make(map[uint64]int32, len(in.Tuples))
-		for i, u := range in.Tuples {
-			in.indexAdd(u.hash(), int32(i))
-		}
+// NumSlots returns the arena length: live rows plus vacated slots. Slot
+// numbers range over [0, NumSlots()).
+func (in *Instance) NumSlots() int { return len(in.live) }
+
+// Alive reports whether slot s holds a current row.
+func (in *Instance) Alive(s int32) bool { return in.live[s] }
+
+// At returns the value of column c in row slot s. The slot must be alive.
+func (in *Instance) At(s int32, c int) Value { return in.cols[c][s] }
+
+// Col returns column c's raw arena, indexed by slot. It includes vacated
+// slots (stale values); callers iterating it must consult LiveMask or
+// LiveRows. The slice is the instance's own storage — read-only.
+func (in *Instance) Col(c int) []Value { return in.cols[c] }
+
+// LiveMask returns the per-slot liveness mask, parallel to every Col
+// arena. Read-only.
+func (in *Instance) LiveMask() []bool { return in.live }
+
+// AppendRow appends row slot s's values to dst and returns it — the cheap
+// row view: a caller-owned scratch tuple refilled per slot, so iterating a
+// million rows materializes zero per-row objects.
+func (in *Instance) AppendRow(dst Tuple, s int32) Tuple {
+	for _, col := range in.cols {
+		dst = append(dst, col[s])
 	}
+	return dst
 }
 
-// find returns the position of t, or -1. Callers have run reindex.
+// Rows materializes every live row as a freshly allocated tuple, in slot
+// order. The result is safe to retain and mutate; intended for cold paths
+// (rendering, diffs, tests) — hot paths iterate slots or columns directly.
+func (in *Instance) Rows() []Tuple {
+	out := make([]Tuple, 0, in.n)
+	backing := make([]Value, 0, in.n*in.Width())
+	for s, alive := range in.live {
+		if !alive {
+			continue
+		}
+		start := len(backing)
+		backing = in.AppendRow(backing, int32(s))
+		out = append(out, Tuple(backing[start:len(backing):len(backing)]))
+	}
+	return out
+}
+
+// LiveRows returns the slots of every live row in ascending order. The
+// first call after a mutation scans the mask (O(slots)); later calls return
+// a cached list, so full scans on immutable snapshots are allocation-free.
+// Read-only. Safe for concurrent use by readers.
+func (in *Instance) LiveRows() []int32 {
+	in.secMu.RLock()
+	rs := in.liveRows
+	in.secMu.RUnlock()
+	if rs != nil {
+		return rs
+	}
+	in.secMu.Lock()
+	defer in.secMu.Unlock()
+	if in.liveRows == nil {
+		rs := make([]int32, 0, in.n)
+		for s, alive := range in.live {
+			if alive {
+				rs = append(rs, int32(s))
+			}
+		}
+		in.liveRows = rs
+	}
+	return in.liveRows
+}
+
+// rowHash hashes row slot s with the same fold as Tuple.hash, so the
+// primary index accepts probes from either representation.
+func (in *Instance) rowHash(s int32) uint64 {
+	h := hashkey.Init
+	for _, col := range in.cols {
+		h = hashkey.Mix(h, uint64(col[s]))
+	}
+	return h
+}
+
+// hashRowCols hashes row slot s at the given column positions,
+// fold-compatible with HashCols.
+func (in *Instance) hashRowCols(s int32, cols []int) uint64 {
+	h := hashkey.Init
+	for _, c := range cols {
+		h = hashkey.Mix(h, uint64(in.cols[c][s]))
+	}
+	return h
+}
+
+// rowEqual reports whether row slot s carries exactly t's values.
+func (in *Instance) rowEqual(s int32, t Tuple) bool {
+	if len(t) != len(in.cols) {
+		return false
+	}
+	for c, v := range t {
+		if in.cols[c][s] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// find returns the slot of t, or -1.
 func (in *Instance) find(t Tuple) int32 {
 	h := t.hash()
 	p, ok := in.pos[h]
 	if !ok {
 		return -1
 	}
-	if in.Tuples[p].Equal(t) {
+	if in.rowEqual(p, t) {
 		return p
 	}
 	for _, q := range in.over[h] {
-		if in.Tuples[q].Equal(t) {
+		if in.rowEqual(q, t) {
 			return q
 		}
 	}
 	return -1
 }
 
-// indexAdd records position i for a tuple hashing to h.
-func (in *Instance) indexAdd(h uint64, i int32) {
+// indexAdd records slot s for a row hashing to h.
+func (in *Instance) indexAdd(h uint64, s int32) {
 	if _, ok := in.pos[h]; !ok {
-		in.pos[h] = i
+		in.pos[h] = s
 		return
 	}
 	if in.over == nil {
 		in.over = make(map[uint64][]int32)
 	}
-	in.over[h] = append(in.over[h], i)
+	in.over[h] = append(in.over[h], s)
 }
 
-// indexRemove forgets position i for a tuple hashing to h.
-func (in *Instance) indexRemove(h uint64, i int32) {
-	if in.pos[h] == i {
+// indexRemove forgets slot s for a row hashing to h.
+func (in *Instance) indexRemove(h uint64, s int32) {
+	if in.pos[h] == s {
 		if ov := in.over[h]; len(ov) > 0 {
 			in.pos[h] = ov[len(ov)-1]
 			in.shrinkOver(h, len(ov)-1)
@@ -234,25 +348,10 @@ func (in *Instance) indexRemove(h uint64, i int32) {
 		return
 	}
 	for j, q := range in.over[h] {
-		if q == i {
+		if q == s {
 			ov := in.over[h]
 			ov[j] = ov[len(ov)-1]
 			in.shrinkOver(h, len(ov)-1)
-			return
-		}
-	}
-}
-
-// indexMove rewrites position from → to for a tuple hashing to h (the
-// swap-with-last step of Remove).
-func (in *Instance) indexMove(h uint64, from, to int32) {
-	if in.pos[h] == from {
-		in.pos[h] = to
-		return
-	}
-	for j, q := range in.over[h] {
-		if q == from {
-			in.over[h][j] = to
 			return
 		}
 	}
@@ -266,48 +365,51 @@ func (in *Instance) shrinkOver(h uint64, n int) {
 	}
 }
 
-// invalidateSecondary drops the lazy match indexes; mutations call it so a
-// stale index can never answer a probe.
+// invalidateSecondary drops the lazy match indexes and the live-slot cache;
+// mutations call it so a stale index can never answer a probe.
 func (in *Instance) invalidateSecondary() {
-	if in.secondary == nil {
+	if in.secondary == nil && in.liveRows == nil {
 		return
 	}
 	in.secMu.Lock()
 	in.secondary = nil
+	in.liveRows = nil
 	in.secMu.Unlock()
 }
 
-// colIndex is a lazily built hash index of the instance's tuples over one
-// column subset: buckets maps the hash of a tuple's values at cols to the
-// tuples carrying them. Distinct value vectors can share a bucket (64-bit
+// colIndex is a lazily built hash index of the instance's rows over one
+// column subset: buckets maps the hash of a row's values at cols to the
+// slots carrying them. Distinct value vectors can share a bucket (64-bit
 // hash collisions), so probes verify the values before trusting a bucket.
 type colIndex struct {
 	cols    []int
-	buckets map[uint64][]Tuple
+	buckets map[uint64][]int32
 }
 
-// matchesAt reports whether t agrees with want on the column positions.
-func matchesAt(t Tuple, cols []int, want []Value) bool {
+// matchesRow reports whether row slot s agrees with want on the column
+// positions.
+func (in *Instance) matchesRow(s int32, cols []int, want []Value) bool {
 	for i, c := range cols {
-		if t[c] != want[i] {
+		if in.cols[c][s] != want[i] {
 			return false
 		}
 	}
 	return true
 }
 
-// MatchingTuples returns the tuples agreeing with want on the given column
-// positions (in the instance's column order). With no columns it returns
-// every tuple. The first probe for a column set builds a hash index over it
-// (O(n)); later probes are O(1) plus the match count and allocation-free
-// unless a hash collision forces a filtered copy. Indexes are dropped on
-// mutation, so the amortization pays off on immutable instances — which is
-// exactly what the window-query evaluator probes: its per-tuple extension
-// joins against an engine snapshot would otherwise rescan the joined
-// relation for every tuple. Safe for concurrent use by readers.
-func (in *Instance) MatchingTuples(cols []int, want []Value) []Tuple {
+// MatchingRows returns the slots of rows agreeing with want on the given
+// column positions (in the instance's column order). With no columns it
+// returns every live slot. The first probe for a column set builds a hash
+// index over it (O(n)); later probes are O(1) plus the match count and
+// allocation-free unless a hash collision forces a filtered copy. Indexes
+// are dropped on mutation, so the amortization pays off on immutable
+// instances — which is exactly what the window-query evaluator probes: its
+// per-tuple extension joins against an engine snapshot would otherwise
+// rescan the joined relation for every tuple. Safe for concurrent use by
+// readers. The result is read-only.
+func (in *Instance) MatchingRows(cols []int, want []Value) []int32 {
 	if len(cols) == 0 {
-		return in.Tuples
+		return in.LiveRows()
 	}
 	ck := hashkey.Ints(cols)
 	var idx *colIndex
@@ -333,11 +435,14 @@ func (in *Instance) MatchingTuples(cols []int, want []Value) []Tuple {
 		if idx == nil {
 			idx = &colIndex{
 				cols:    append([]int(nil), cols...),
-				buckets: make(map[uint64][]Tuple, len(in.Tuples)),
+				buckets: make(map[uint64][]int32, in.n),
 			}
-			for _, t := range in.Tuples {
-				h := HashCols(t, cols)
-				idx.buckets[h] = append(idx.buckets[h], t)
+			for s, alive := range in.live {
+				if !alive {
+					continue
+				}
+				h := in.hashRowCols(int32(s), cols)
+				idx.buckets[h] = append(idx.buckets[h], int32(s))
 			}
 			in.secondary[ck] = append(in.secondary[ck], idx)
 		}
@@ -345,18 +450,18 @@ func (in *Instance) MatchingTuples(cols []int, want []Value) []Tuple {
 	}
 	cands := idx.buckets[hashkey.Int64s(want)]
 	n := 0
-	for _, t := range cands {
-		if matchesAt(t, cols, want) {
+	for _, s := range cands {
+		if in.matchesRow(s, cols, want) {
 			n++
 		}
 	}
 	if n == len(cands) {
 		return cands
 	}
-	out := make([]Tuple, 0, n)
-	for _, t := range cands {
-		if matchesAt(t, cols, want) {
-			out = append(out, t)
+	out := make([]int32, 0, n)
+	for _, s := range cands {
+		if in.matchesRow(s, cols, want) {
+			out = append(out, s)
 		}
 	}
 	return out
@@ -375,58 +480,115 @@ func intsEqual(a, b []int) bool {
 }
 
 // Add inserts a tuple (deduplicating). It panics if the arity is wrong,
-// since that is always a programming error. Duplicate adds are
-// allocation-free; a fresh add allocates only the stored clone (plus
-// amortized table growth).
+// since that is always a programming error. The values are copied into the
+// column arenas — the caller keeps ownership of t and may reuse it.
+// Duplicate adds are allocation-free; a fresh add costs only amortized
+// arena growth.
 func (in *Instance) Add(t Tuple) bool {
 	if len(t) != in.Width() {
 		panic(fmt.Sprintf("relation: tuple arity %d does not match scheme arity %d", len(t), in.Width()))
 	}
-	in.reindex()
 	if in.find(t) >= 0 {
 		return false
 	}
 	in.invalidateSecondary()
-	in.indexAdd(t.hash(), int32(len(in.Tuples)))
-	in.Tuples = append(in.Tuples, t.Clone())
+	var s int32
+	if k := len(in.free); k > 0 {
+		s = in.free[k-1]
+		in.free = in.free[:k-1]
+		for c, v := range t {
+			in.cols[c][s] = v
+		}
+		in.live[s] = true
+	} else {
+		s = int32(len(in.live))
+		for c, v := range t {
+			in.cols[c] = append(in.cols[c], v)
+		}
+		in.live = append(in.live, true)
+	}
+	in.n++
+	in.indexAdd(t.hash(), s)
 	return true
 }
 
-// Remove deletes a tuple, reporting whether it was present. The last tuple
-// is swapped into the vacated slot, so Tuples order is not stable across
-// removals.
+// Remove deletes a tuple, reporting whether it was present. The vacated
+// slot keeps its number and goes on the free list for the next Add, so
+// other rows' slots are never disturbed.
 func (in *Instance) Remove(t Tuple) bool {
-	in.reindex()
-	pos := in.find(t)
-	if pos < 0 {
+	s := in.find(t)
+	if s < 0 {
 		return false
 	}
 	in.invalidateSecondary()
-	in.indexRemove(t.hash(), pos)
-	last := int32(len(in.Tuples) - 1)
-	if pos != last {
-		moved := in.Tuples[last]
-		in.Tuples[pos] = moved
-		in.indexMove(moved.hash(), last, pos)
-	}
-	in.Tuples[last] = nil
-	in.Tuples = in.Tuples[:last]
+	in.indexRemove(t.hash(), s)
+	in.live[s] = false
+	in.free = append(in.free, s)
+	in.n--
 	return true
 }
 
 // Has reports whether the tuple is present. It never allocates.
 func (in *Instance) Has(t Tuple) bool {
-	in.reindex()
 	return in.find(t) >= 0
 }
 
-// Clone deep-copies the instance.
+// Clone deep-copies the instance. Columns copy as whole arenas (memmove,
+// not per-row re-insertion), which is what makes engine snapshots cheap.
 func (in *Instance) Clone() *Instance {
-	out := NewInstance(in.Attrs)
-	for _, t := range in.Tuples {
-		out.Add(t)
+	out := &Instance{Attrs: in.Attrs, cols: make([][]Value, len(in.cols)), n: in.n}
+	for c := range in.cols {
+		out.cols[c] = append([]Value(nil), in.cols[c]...)
+	}
+	out.live = append([]bool(nil), in.live...)
+	out.free = append([]int32(nil), in.free...)
+	out.pos = make(map[uint64]int32, len(in.pos))
+	for h, s := range in.pos {
+		out.pos[h] = s
+	}
+	if len(in.over) > 0 {
+		out.over = make(map[uint64][]int32, len(in.over))
+		for h, v := range in.over {
+			out.over[h] = append([]int32(nil), v...)
+		}
 	}
 	return out
+}
+
+// SnapshotCols returns the live rows in column-major form plus the row
+// count: one slice per column, each holding exactly the live rows in slot
+// order. With no vacated slots (the common case for snapshot encoding) the
+// returned slices alias the arenas directly — zero copies; otherwise the
+// columns are compacted into fresh slices. Read-only.
+func (in *Instance) SnapshotCols() ([][]Value, int) {
+	if len(in.free) == 0 {
+		return in.cols, in.n
+	}
+	out := make([][]Value, len(in.cols))
+	for c := range in.cols {
+		cc := make([]Value, 0, in.n)
+		col := in.cols[c]
+		for s, alive := range in.live {
+			if alive {
+				cc = append(cc, col[s])
+			}
+		}
+		out[c] = cc
+	}
+	return out, in.n
+}
+
+// AddCols bulk-loads rows given column-major: cols[c][r] is row r's value
+// in column c (the checkpoint decode shape). Rows are deduplicated through
+// the normal Add path.
+func (in *Instance) AddCols(cols [][]Value, rows int) {
+	scratch := make(Tuple, len(cols))
+	for r := 0; r < rows; r++ {
+		for c := range cols {
+			scratch[c] = cols[c][r]
+		}
+		in.Add(scratch)
+	}
 }
 
 // ProjectionCols returns, for each attribute of sub (ascending), its
@@ -454,22 +616,25 @@ func (in *Instance) Project(sub attrset.Set) *Instance {
 	}
 	cols := ProjectionCols(in.Attrs, sub)
 	out := NewInstance(sub)
-	for _, t := range in.Tuples {
-		p := make(Tuple, len(cols))
+	p := make(Tuple, len(cols))
+	for s, alive := range in.live {
+		if !alive {
+			continue
+		}
 		for i, c := range cols {
-			p[i] = t[c]
+			p[i] = in.cols[c][s]
 		}
 		out.Add(p)
 	}
 	return out
 }
 
-// agreeOn reports whether ta and tb carry the same values at the paired
-// column positions — the natural-join condition itself, so hash buckets
-// verified with it can never admit a false match.
-func agreeOn(ta Tuple, aCols []int, tb Tuple, bCols []int) bool {
+// agreeRows reports whether row sa of a and row sb of b carry the same
+// values at the paired column positions — the natural-join condition
+// itself, so hash buckets verified with it can never admit a false match.
+func agreeRows(a *Instance, sa int32, aCols []int, b *Instance, sb int32, bCols []int) bool {
 	for i, c := range aCols {
-		if ta[c] != tb[bCols[i]] {
+		if a.cols[c][sa] != b.cols[bCols[i]][sb] {
 			return false
 		}
 	}
@@ -484,10 +649,13 @@ func Join(a, b *Instance) *Instance {
 	// Bucket b by the hash of its common-attribute values; probes verify
 	// the join condition directly, so collisions cost a comparison, never
 	// a wrong row.
-	byKey := make(map[uint64][]Tuple, len(b.Tuples))
-	for _, t := range b.Tuples {
-		h := HashCols(t, bCols)
-		byKey[h] = append(byKey[h], t)
+	byKey := make(map[uint64][]int32, b.n)
+	for s, alive := range b.live {
+		if !alive {
+			continue
+		}
+		h := b.hashRowCols(int32(s), bCols)
+		byKey[h] = append(byKey[h], int32(s))
 	}
 	outAttrs := a.Attrs.Union(b.Attrs)
 	out := NewInstance(outAttrs)
@@ -500,17 +668,20 @@ func Join(a, b *Instance) *Instance {
 	for i, at := range b.Attrs.Attrs() {
 		bIdx[at] = i
 	}
-	for _, ta := range a.Tuples {
-		for _, tb := range byKey[HashCols(ta, aCols)] {
-			if !agreeOn(ta, aCols, tb, bCols) {
+	joined := make(Tuple, len(outCols))
+	for sa, alive := range a.live {
+		if !alive {
+			continue
+		}
+		for _, sb := range byKey[a.hashRowCols(int32(sa), aCols)] {
+			if !agreeRows(a, int32(sa), aCols, b, sb, bCols) {
 				continue
 			}
-			joined := make(Tuple, len(outCols))
 			for i, at := range outCols {
 				if j, ok := aIdx[at]; ok {
-					joined[i] = ta[j]
+					joined[i] = a.cols[j][sa]
 				} else {
-					joined[i] = tb[bIdx[at]]
+					joined[i] = b.cols[bIdx[at]][sb]
 				}
 			}
 			out.Add(joined)
@@ -523,17 +694,25 @@ func Join(a, b *Instance) *Instance {
 func Semijoin(a, b *Instance) *Instance {
 	common := a.Attrs.Intersect(b.Attrs)
 	bCols := ProjectionCols(b.Attrs, common)
-	bKeys := make(map[uint64][]Tuple, len(b.Tuples))
-	for _, t := range b.Tuples {
-		h := HashCols(t, bCols)
-		bKeys[h] = append(bKeys[h], t)
+	bKeys := make(map[uint64][]int32, b.n)
+	for s, alive := range b.live {
+		if !alive {
+			continue
+		}
+		h := b.hashRowCols(int32(s), bCols)
+		bKeys[h] = append(bKeys[h], int32(s))
 	}
 	aCols := ProjectionCols(a.Attrs, common)
 	out := NewInstance(a.Attrs)
-	for _, t := range a.Tuples {
-		for _, tb := range bKeys[HashCols(t, aCols)] {
-			if agreeOn(t, aCols, tb, bCols) {
-				out.Add(t)
+	var scratch Tuple
+	for sa, alive := range a.live {
+		if !alive {
+			continue
+		}
+		for _, sb := range bKeys[a.hashRowCols(int32(sa), aCols)] {
+			if agreeRows(a, int32(sa), aCols, b, sb, bCols) {
+				scratch = a.AppendRow(scratch[:0], int32(sa))
+				out.Add(scratch)
 				break
 			}
 		}
@@ -641,13 +820,18 @@ func (st *State) JoinConsistent() bool {
 	if j.Attrs != st.Schema.U.All() {
 		return false
 	}
+	var scratch Tuple
 	for _, in := range st.Insts {
 		proj := j.Project(in.Attrs)
 		if proj.Len() != in.Len() {
 			return false
 		}
-		for _, t := range in.Tuples {
-			if !proj.Has(t) {
+		for s, alive := range in.live {
+			if !alive {
+				continue
+			}
+			scratch = in.AppendRow(scratch[:0], int32(s))
+			if !proj.Has(scratch) {
 				return false
 			}
 		}
@@ -661,7 +845,7 @@ func (st *State) String() string {
 	for i, in := range st.Insts {
 		fmt.Fprintf(&b, "%s(%s):", st.Schema.Name(i), st.Schema.U.Format(in.Attrs, " "))
 		tuples := make([]string, 0, in.Len())
-		for _, t := range in.Tuples {
+		for _, t := range in.Rows() {
 			parts := make([]string, len(t))
 			for j, v := range t {
 				parts[j] = st.Dict.Name(v)

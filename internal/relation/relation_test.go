@@ -36,11 +36,11 @@ func TestProject(t *testing.T) {
 	in.Add(Tuple{1, 2, 4})
 	p := in.Project(attrset.Of(0, 1))
 	if p.Len() != 1 || !p.Has(Tuple{1, 2}) {
-		t.Fatalf("projection wrong: %v", p.Tuples)
+		t.Fatalf("projection wrong: %v", p.Rows())
 	}
 	p2 := in.Project(attrset.Of(2))
 	if p2.Len() != 2 {
-		t.Fatalf("projection wrong: %v", p2.Tuples)
+		t.Fatalf("projection wrong: %v", p2.Rows())
 	}
 }
 
@@ -58,7 +58,7 @@ func TestJoinBasic(t *testing.T) {
 		t.Fatal("join scheme wrong")
 	}
 	if j.Len() != 2 || !j.Has(Tuple{1, 10, 100}) || !j.Has(Tuple{1, 10, 101}) {
-		t.Fatalf("join tuples wrong: %v", j.Tuples)
+		t.Fatalf("join tuples wrong: %v", j.Rows())
 	}
 }
 
@@ -82,7 +82,7 @@ func TestSemijoin(t *testing.T) {
 	s.Add(Tuple{10})
 	sj := Semijoin(r, s)
 	if sj.Len() != 1 || !sj.Has(Tuple{1, 10}) {
-		t.Fatalf("semijoin wrong: %v", sj.Tuples)
+		t.Fatalf("semijoin wrong: %v", sj.Rows())
 	}
 }
 
@@ -114,7 +114,7 @@ func TestProjectOntoRoundTrip(t *testing.T) {
 		t.Fatal("projection of a universal instance must be join consistent")
 	}
 	j := st.JoinAll()
-	for _, tu := range uinst.Tuples {
+	for _, tu := range uinst.Rows() {
 		if !j.Has(tu) {
 			t.Fatal("join must contain original tuples")
 		}
@@ -157,7 +157,7 @@ func TestQuickJoinCommutes(t *testing.T) {
 		if ab.Len() != ba.Len() {
 			t.Fatal("join not commutative in size")
 		}
-		for _, tu := range ab.Tuples {
+		for _, tu := range ab.Rows() {
 			if !ba.Has(tu) {
 				t.Fatal("join not commutative in content")
 			}
@@ -176,7 +176,7 @@ func TestQuickProjectionOfJoinContainsOperands(t *testing.T) {
 			b.Add(Tuple{Value(r.Intn(3)), Value(r.Intn(3))})
 		}
 		j := Join(a, b)
-		for _, tu := range j.Project(a.Attrs).Tuples {
+		for _, tu := range j.Project(a.Attrs).Rows() {
 			if !a.Has(tu) {
 				t.Fatal("projection of join produced a tuple not in operand")
 			}

@@ -131,9 +131,10 @@ type Valuation map[int]relation.Value
 // S ∩ R_i. Nondistinguished variables are unconstrained and need no
 // assignment. The search backtracks over rows (tableaux here are tiny);
 // each row's candidates come from a hash probe on its already-bound dv
-// columns (relation.Instance.MatchingTuples), so on an immutable state —
+// columns (relation.Instance.MatchingRows), so on an immutable state —
 // e.g. the engine snapshots the window-query evaluator reads — a probe is
-// O(1) instead of a scan of the relation.
+// O(1) instead of a scan of the relation, and candidate rows are read in
+// place from the column arenas without materializing tuples.
 func FindValuation(t T, st *relation.State, anchor Valuation) (Valuation, bool) {
 	assign := make(Valuation, len(anchor))
 	for k, v := range anchor {
@@ -164,9 +165,9 @@ func FindValuation(t T, st *relation.State, anchor Valuation) (Valuation, bool) 
 				frees = append(frees, free{j: j, a: a})
 			}
 		}
-		for _, tu := range inst.MatchingTuples(probeCols, probeVals) {
+		for _, s := range inst.MatchingRows(probeCols, probeVals) {
 			for _, f := range frees {
-				assign[f.a] = tu[f.j]
+				assign[f.a] = inst.At(s, f.j)
 			}
 			if rec(i + 1) {
 				return true

@@ -17,35 +17,87 @@ type DictEntry struct {
 }
 
 // Checkpoint is a serialized snapshot of the engine state: the dictionary
-// and every relation's tuples, plus the sequence number of the first WAL
-// segment NOT covered by the snapshot (recovery loads the checkpoint, then
-// replays segments >= Seq).
+// and every relation's rows in column-major form, plus the sequence number
+// of the first WAL segment NOT covered by the snapshot (recovery loads the
+// checkpoint, then replays segments >= Seq).
+//
+// Cols[i][c] holds scheme i's column c: exactly Counts[i] live rows in slot
+// order. Building a checkpoint from a state is (near) zero-copy — the
+// slices alias the instance's column arenas unless deletes left free slots
+// to compact — and encoding streams each arena contiguously instead of
+// walking per-row objects.
 type Checkpoint struct {
 	Seq    uint64
 	Dict   []DictEntry
-	Tuples [][]relation.Tuple // per scheme, in schema order
+	Cols   [][][]relation.Value // per scheme, per column, in schema order
+	Counts []int                // per scheme: row count
 }
 
 // NewCheckpoint builds a Checkpoint from a consistent snapshot state whose
 // Dict has been materialized, cutting at seq.
 func NewCheckpoint(seq uint64, st *relation.State) *Checkpoint {
-	ck := &Checkpoint{Seq: seq, Tuples: make([][]relation.Tuple, len(st.Insts))}
+	ck := &Checkpoint{
+		Seq:    seq,
+		Cols:   make([][][]relation.Value, len(st.Insts)),
+		Counts: make([]int, len(st.Insts)),
+	}
 	if st.Dict != nil {
 		st.Dict.Each(func(v relation.Value, name string) {
 			ck.Dict = append(ck.Dict, DictEntry{Value: v, Name: name})
 		})
 	}
 	for i, in := range st.Insts {
-		ck.Tuples[i] = in.Tuples
+		ck.Cols[i], ck.Counts[i] = in.SnapshotCols()
 	}
 	return ck
 }
 
-// Checkpoint file layout: magic, then a uvarint/varint-encoded body, then a
-// trailing CRC32 over everything before it. Files are written to a temp
-// name and atomically renamed, so a visible checkpoint is complete unless
-// the disk itself corrupted it — which the CRC catches.
-const ckptMagic = "INDEPCK1"
+// NumSchemes returns the number of relations in the snapshot.
+func (ck *Checkpoint) NumSchemes() int { return len(ck.Cols) }
+
+// RowCount returns scheme i's row count.
+func (ck *Checkpoint) RowCount(i int) int { return ck.Counts[i] }
+
+// Arity returns scheme i's column count.
+func (ck *Checkpoint) Arity(i int) int { return len(ck.Cols[i]) }
+
+// AppendRow appends scheme i's row r to dst and returns it — the scratch-
+// tuple iteration shape recovery uses to re-admit rows without
+// materializing the whole relation.
+func (ck *Checkpoint) AppendRow(dst relation.Tuple, i, r int) relation.Tuple {
+	for _, col := range ck.Cols[i] {
+		dst = append(dst, col[r])
+	}
+	return dst
+}
+
+// TuplesOf materializes scheme i's rows as freshly allocated tuples — for
+// cold paths (re-sync diffs, tests) that want row-shaped data.
+func (ck *Checkpoint) TuplesOf(i int) []relation.Tuple {
+	out := make([]relation.Tuple, ck.Counts[i])
+	for r := range out {
+		out[r] = ck.AppendRow(make(relation.Tuple, 0, ck.Arity(i)), i, r)
+	}
+	return out
+}
+
+// Checkpoint file layout: magic (a shared prefix plus one version byte),
+// then a uvarint/varint-encoded body, then a trailing CRC32 over everything
+// before it. Files are written to a temp name and atomically renamed, so a
+// visible checkpoint is complete unless the disk itself corrupted it —
+// which the CRC catches.
+//
+// Version '2' (current) stores each relation column-major: arity, row
+// count, then one length-prefixed block per column holding the column's
+// varint-encoded values. Version '1' (pre-columnar) stored row-major
+// tuples; it is still decoded for recovery from old data directories and
+// replication snapshots from old primaries.
+const (
+	ckptMagicPrefix = "INDEPCK"
+	ckptV1          = '1'
+	ckptV2          = '2'
+	ckptMagic       = ckptMagicPrefix + string(rune(ckptV2))
+)
 
 func (ck *Checkpoint) encode() []byte {
 	buf := []byte(ckptMagic)
@@ -56,14 +108,19 @@ func (ck *Checkpoint) encode() []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(e.Name)))
 		buf = append(buf, e.Name...)
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(ck.Tuples)))
-	for _, tuples := range ck.Tuples {
-		buf = binary.AppendUvarint(buf, uint64(len(tuples)))
-		for _, t := range tuples {
-			buf = binary.AppendUvarint(buf, uint64(len(t)))
-			for _, v := range t {
-				buf = binary.AppendVarint(buf, int64(v))
+	buf = binary.AppendUvarint(buf, uint64(len(ck.Cols)))
+	var colBuf []byte // scratch: one column's encoding, reused
+	for i, cols := range ck.Cols {
+		rows := ck.Counts[i]
+		buf = binary.AppendUvarint(buf, uint64(len(cols)))
+		buf = binary.AppendUvarint(buf, uint64(rows))
+		for _, col := range cols {
+			colBuf = colBuf[:0]
+			for _, v := range col[:rows] {
+				colBuf = binary.AppendVarint(colBuf, int64(v))
 			}
+			buf = binary.AppendUvarint(buf, uint64(len(colBuf)))
+			buf = append(buf, colBuf...)
 		}
 	}
 	sum := crc32.Checksum(buf, crcTable)
@@ -77,20 +134,26 @@ func (ck *Checkpoint) encode() []byte {
 func (ck *Checkpoint) Encode() []byte { return ck.encode() }
 
 // DecodeCheckpointBytes parses an encoded checkpoint (the replication
-// snapshot wire format), verifying the magic and trailing CRC.
+// snapshot wire format), verifying the magic and trailing CRC. Both the
+// columnar ('2') and the legacy row-major ('1') versions decode.
 func DecodeCheckpointBytes(data []byte) (*Checkpoint, error) {
 	return decodeCheckpoint(data)
 }
 
 func decodeCheckpoint(data []byte) (*Checkpoint, error) {
-	if len(data) < len(ckptMagic)+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+	magicLen := len(ckptMagicPrefix) + 1
+	if len(data) < magicLen+4 || string(data[:len(ckptMagicPrefix)]) != ckptMagicPrefix {
 		return nil, fmt.Errorf("wal: not a checkpoint file")
+	}
+	version := data[len(ckptMagicPrefix)]
+	if version != ckptV1 && version != ckptV2 {
+		return nil, fmt.Errorf("wal: unknown checkpoint version %q", version)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
 		return nil, fmt.Errorf("wal: checkpoint checksum mismatch")
 	}
-	b := body[len(ckptMagic):]
+	b := body[magicLen:]
 	ck := &Checkpoint{}
 	var err error
 	if ck.Seq, b, err = readUvarint(b); err != nil {
@@ -122,39 +185,113 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if schemes > uint64(len(b)) {
 		return nil, fmt.Errorf("wal: checkpoint scheme count overruns file")
 	}
-	ck.Tuples = make([][]relation.Tuple, schemes)
-	for i := range ck.Tuples {
-		var cnt uint64
-		if cnt, b, err = readUvarint(b); err != nil {
-			return nil, err
+	ck.Cols = make([][][]relation.Value, schemes)
+	ck.Counts = make([]int, schemes)
+	if version == ckptV1 {
+		err = decodeSchemesV1(ck, b)
+	} else {
+		err = decodeSchemesV2(ck, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// decodeSchemesV2 parses the columnar relation bodies: per scheme an arity,
+// a row count, and one length-prefixed varint block per column.
+func decodeSchemesV2(ck *Checkpoint, b []byte) error {
+	var err error
+	for i := range ck.Cols {
+		var arity, rows uint64
+		if arity, b, err = readUvarint(b); err != nil {
+			return err
 		}
-		if cnt > uint64(len(b)) {
-			return nil, fmt.Errorf("wal: checkpoint tuple count overruns file")
+		if arity > uint64(len(b))+1 { // each column block carries ≥1 length byte
+			return fmt.Errorf("wal: checkpoint arity overruns file")
 		}
-		ck.Tuples[i] = make([]relation.Tuple, 0, cnt)
-		for j := uint64(0); j < cnt; j++ {
-			var arity uint64
-			if arity, b, err = readUvarint(b); err != nil {
-				return nil, err
+		if rows, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		ck.Counts[i] = int(rows)
+		ck.Cols[i] = make([][]relation.Value, arity)
+		for c := range ck.Cols[i] {
+			var blockLen uint64
+			if blockLen, b, err = readUvarint(b); err != nil {
+				return err
 			}
-			if arity > uint64(len(b)) {
-				return nil, fmt.Errorf("wal: checkpoint tuple overruns file")
+			if blockLen > uint64(len(b)) {
+				return fmt.Errorf("wal: checkpoint column block overruns file")
 			}
-			t := make(relation.Tuple, arity)
-			for c := range t {
+			block := b[:blockLen]
+			b = b[blockLen:]
+			if rows > blockLen { // every varint takes at least one byte
+				return fmt.Errorf("wal: checkpoint column block too short for %d rows", rows)
+			}
+			col := make([]relation.Value, 0, rows)
+			for r := uint64(0); r < rows; r++ {
 				var v int64
-				if v, b, err = readVarint(b); err != nil {
-					return nil, err
+				if v, block, err = readVarint(block); err != nil {
+					return err
 				}
-				t[c] = relation.Value(v)
+				col = append(col, relation.Value(v))
 			}
-			ck.Tuples[i] = append(ck.Tuples[i], t)
+			if len(block) != 0 {
+				return fmt.Errorf("wal: %d trailing bytes in checkpoint column block", len(block))
+			}
+			ck.Cols[i][c] = col
 		}
 	}
 	if len(b) != 0 {
-		return nil, fmt.Errorf("wal: %d trailing bytes in checkpoint", len(b))
+		return fmt.Errorf("wal: %d trailing bytes in checkpoint", len(b))
 	}
-	return ck, nil
+	return nil
+}
+
+// decodeSchemesV1 parses the legacy row-major relation bodies (tuple count,
+// then per-tuple arity and values) and transposes them into columns. All
+// tuples of a scheme must agree on arity — they always do in a real file;
+// a disagreement means corruption the CRC missed.
+func decodeSchemesV1(ck *Checkpoint, b []byte) error {
+	var err error
+	for i := range ck.Cols {
+		var cnt uint64
+		if cnt, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		if cnt > uint64(len(b)) {
+			return fmt.Errorf("wal: checkpoint tuple count overruns file")
+		}
+		for j := uint64(0); j < cnt; j++ {
+			var arity uint64
+			if arity, b, err = readUvarint(b); err != nil {
+				return err
+			}
+			if arity > uint64(len(b)) {
+				return fmt.Errorf("wal: checkpoint tuple overruns file")
+			}
+			if j == 0 {
+				ck.Cols[i] = make([][]relation.Value, arity)
+				for c := range ck.Cols[i] {
+					ck.Cols[i][c] = make([]relation.Value, 0, cnt)
+				}
+			} else if arity != uint64(len(ck.Cols[i])) {
+				return fmt.Errorf("wal: checkpoint tuple arity %d differs from scheme arity %d", arity, len(ck.Cols[i]))
+			}
+			for c := uint64(0); c < arity; c++ {
+				var v int64
+				if v, b, err = readVarint(b); err != nil {
+					return err
+				}
+				ck.Cols[i][c] = append(ck.Cols[i][c], relation.Value(v))
+			}
+		}
+		ck.Counts[i] = int(cnt)
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("wal: %d trailing bytes in checkpoint", len(b))
+	}
+	return nil
 }
 
 // WriteCheckpoint durably writes ck to dir (temp file, fsync, atomic

@@ -107,7 +107,7 @@ func FuzzReplRecordStream(f *testing.F) {
 // arbitrary bytes.
 func FuzzDecodeCheckpoint(f *testing.F) {
 	good := (&Checkpoint{Seq: 3, Dict: []DictEntry{{Value: 1, Name: "v"}},
-		Tuples: [][]relation.Tuple{{{1, 2}}, {}}}).encode()
+		Cols: [][][]relation.Value{{{1}, {2}}, {}}, Counts: []int{1, 0}}).encode()
 	f.Add(good)
 	f.Add(good[:len(good)-5])
 	f.Add([]byte("INDEPCK1"))
@@ -121,8 +121,39 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoding accepted checkpoint failed: %v", err)
 		}
-		if again.Seq != ck.Seq || len(again.Dict) != len(ck.Dict) || len(again.Tuples) != len(ck.Tuples) {
+		if again.Seq != ck.Seq || len(again.Dict) != len(ck.Dict) || len(again.Cols) != len(ck.Cols) {
 			t.Fatalf("checkpoint decode not stable")
+		}
+	})
+}
+
+// FuzzDecodeColumnCheckpoint targets the columnar ('2') checkpoint body
+// specifically: arbitrary bytes after a valid v2 prefix must decode or
+// error, never panic, and accepted inputs must re-encode stably — including
+// legacy v1 inputs, whose re-encoding is the v2 transposition.
+func FuzzDecodeColumnCheckpoint(f *testing.F) {
+	v2 := (&Checkpoint{Seq: 11,
+		Cols: [][][]relation.Value{{{1, 3}, {2, 4}}, {{-5}}}, Counts: []int{2, 1}}).encode()
+	f.Add(v2)
+	f.Add(encodeCheckpointV1(9, []DictEntry{{Value: 2, Name: "q"}}, [][]relation.Tuple{{{7, 8}}}))
+	f.Add([]byte("INDEPCK2"))
+	f.Add(v2[:len(v2)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := decodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeCheckpoint(ck.encode())
+		if err != nil {
+			t.Fatalf("re-encoding accepted checkpoint failed: %v", err)
+		}
+		if again.Seq != ck.Seq || len(again.Dict) != len(ck.Dict) {
+			t.Fatalf("checkpoint decode not stable")
+		}
+		for i := range ck.Cols {
+			if again.Counts[i] != ck.Counts[i] || len(again.Cols[i]) != len(ck.Cols[i]) {
+				t.Fatalf("scheme %d shape not stable", i)
+			}
 		}
 	})
 }

@@ -485,6 +485,17 @@ func (l *Log) process(batch []queued) {
 			l.stats.Syncs++
 			l.mu.Unlock()
 		}
+		// The flushed position must cover the group's bytes before any of
+		// its waiters is acknowledged: Flushed() is the read-your-writes
+		// token, so a caller whose Wait returned must find its record at or
+		// below it. Updating only at the end of the batch would leave a
+		// window — wide when a rotation's file work follows — where an acked
+		// commit sits above the reported flushed end and a replica
+		// synchronizing against it stops one record short.
+		l.mu.Lock()
+		l.stats.ActiveSeq = l.activeSeq
+		l.stats.ActiveBytes = l.offset
+		l.mu.Unlock()
 		for _, w := range waiters {
 			w <- nil
 		}

@@ -226,6 +226,15 @@ const frameHeader = 8
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// AppendRecordFrame encodes rec as a CRC-framed payload appended to buf —
+// the exact bytes the log writes for the record. The binary batch wire
+// protocol reuses it so a client-encoded batch and a journaled batch share
+// one encoder, one decoder, and one corruption check (NextStreamFrame +
+// DecodeRecord parse both).
+func AppendRecordFrame(buf []byte, rec Record) []byte {
+	return appendFrame(buf, rec)
+}
+
 // appendFrame encodes rec as a CRC-framed payload appended to buf.
 func appendFrame(buf []byte, rec Record) []byte {
 	start := len(buf)

@@ -276,7 +276,7 @@ func TestNextStreamFrameErrors(t *testing.T) {
 
 func TestCheckpointEncodeExports(t *testing.T) {
 	ck := &Checkpoint{Seq: 9, Dict: []DictEntry{{Value: 3, Name: "bob"}},
-		Tuples: [][]relation.Tuple{{{3, 3}}, {}}}
+		Cols: [][][]relation.Value{{{3}, {3}}, {}}, Counts: []int{1, 0}}
 	got, err := DecodeCheckpointBytes(ck.Encode())
 	if err != nil {
 		t.Fatal(err)

@@ -374,11 +374,13 @@ func TestCheckpointRoundTrip(t *testing.T) {
 			{Value: 0, Name: "x"},
 			{Value: 64, Name: "y"},
 		},
-		Tuples: [][]relation.Tuple{
-			{{1, 2}, {3, 4}},
+		// Rows (1,2),(3,4) in scheme 0 and (5) in scheme 2, column-major.
+		Cols: [][][]relation.Value{
+			{{1, 3}, {2, 4}},
 			{},
 			{{5}},
 		},
+		Counts: []int{2, 0, 1},
 	}
 	if _, err := WriteCheckpoint(dir, ck); err != nil {
 		t.Fatal(err)
@@ -390,14 +392,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if got.Seq != ck.Seq || !reflect.DeepEqual(got.Dict, ck.Dict) {
 		t.Fatalf("checkpoint mismatch: %+v", got)
 	}
-	for i := range ck.Tuples {
-		if len(got.Tuples[i]) != len(ck.Tuples[i]) {
-			t.Fatalf("scheme %d: %d tuples, want %d", i, len(got.Tuples[i]), len(ck.Tuples[i]))
-		}
-		for j := range ck.Tuples[i] {
-			if !reflect.DeepEqual(got.Tuples[i][j], ck.Tuples[i][j]) {
-				t.Fatalf("scheme %d tuple %d mismatch", i, j)
-			}
+	if !reflect.DeepEqual(got.Counts, ck.Counts) {
+		t.Fatalf("counts %v, want %v", got.Counts, ck.Counts)
+	}
+	for i := range ck.Cols {
+		if !reflect.DeepEqual(got.TuplesOf(i), ck.TuplesOf(i)) {
+			t.Fatalf("scheme %d: %v, want %v", i, got.TuplesOf(i), ck.TuplesOf(i))
 		}
 	}
 
@@ -426,7 +426,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 func TestCheckpointCorruptionDetected(t *testing.T) {
 	ck := &Checkpoint{Seq: 3, Dict: []DictEntry{{Value: 1, Name: "v"}},
-		Tuples: [][]relation.Tuple{{{1, 2, 3}}}}
+		Cols: [][][]relation.Value{{{1}, {2}, {3}}}, Counts: []int{1}}
 	data := ck.encode()
 	for off := 0; off < len(data); off++ {
 		mut := append([]byte(nil), data...)

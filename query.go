@@ -38,6 +38,11 @@ type WindowQuery struct {
 	// vs chase, plan-cache hit, per-relation rows scanned, pruned relations,
 	// and (on a store) snapshot reuse. The query still runs normally.
 	Explain bool
+	// BinaryResult, when set, skips the rendered Rows maps and emits the
+	// result as the length-prefixed binary encoding instead (WindowResult.Bin,
+	// decoded by DecodeWindowBinary) — the shape the daemon serves under
+	// Accept: application/x-indep-bin. Rows is nil on such a result.
+	BinaryResult bool
 }
 
 // RelationScan is one relation a window evaluation consulted, with the
@@ -93,6 +98,9 @@ type WindowResult struct {
 	PlanCached bool
 	// Explain is the executed plan, present iff the query set Explain.
 	Explain *WindowExplain `json:"explain,omitempty"`
+	// Bin is the binary encoding of the result, present iff the query set
+	// BinaryResult (Rows is nil then); DecodeWindowBinary parses it.
+	Bin []byte `json:"-"`
 }
 
 // QueryStats re-exports the engine's query-side counters: window queries
@@ -258,16 +266,18 @@ func finishWindow(s *Schema, st *relation.State, res *query.Result, q WindowQuer
 		}
 		filtered := relation.NewInstance(rows.Attrs)
 		if !empty {
-			for _, t := range rows.Tuples {
+			var scratch relation.Tuple
+			for _, slot := range rows.LiveRows() {
 				ok := true
 				for _, c := range conds {
-					if t[c.col] != c.v {
+					if rows.At(slot, c.col) != c.v {
 						ok = false
 						break
 					}
 				}
 				if ok {
-					filtered.Add(t)
+					scratch = rows.AppendRow(scratch[:0], slot)
+					filtered.Add(scratch)
 				}
 			}
 		}
@@ -299,12 +309,13 @@ func finishWindow(s *Schema, st *relation.State, res *query.Result, q WindowQuer
 		FastPath:   res.Fast,
 		PlanCached: res.PlanCached,
 	}
-	keys := make([]string, rows.Len())
-	order := make([]int, rows.Len())
-	for i, t := range rows.Tuples {
+	slots := rows.LiveRows()
+	keys := make([]string, len(slots))
+	order := make([]int, len(slots))
+	for i, slot := range slots {
 		var k strings.Builder
 		for j := range names {
-			k.WriteString(st.Dict.Name(t[j]))
+			k.WriteString(st.Dict.Name(rows.At(slot, j)))
 			k.WriteByte(0)
 		}
 		keys[i] = k.String()
@@ -315,12 +326,18 @@ func finishWindow(s *Schema, st *relation.State, res *query.Result, q WindowQuer
 	if q.Limit > 0 && n > q.Limit {
 		n = q.Limit
 	}
+	if q.BinaryResult {
+		out.Bin = encodeWindowBinary(st.Dict, names, n, func(i, j int) relation.Value {
+			return rows.At(slots[order[i]], j)
+		}, out.Total, out.FastPath, out.PlanCached)
+		return out, nil
+	}
 	rendered := make([]map[string]string, n)
 	for i := 0; i < n; i++ {
-		t := rows.Tuples[order[i]]
+		slot := slots[order[i]]
 		row := make(map[string]string, len(names))
 		for j, name := range names {
-			row[name] = st.Dict.Name(t[j])
+			row[name] = st.Dict.Name(rows.At(slot, j))
 		}
 		rendered[i] = row
 	}

@@ -108,11 +108,11 @@ func DiffDatabases(a, b *Database) []string {
 	for i := range a.st.Insts {
 		name := a.schema.s.Name(i)
 		am := make(map[string]relation.Tuple, a.st.Insts[i].Len())
-		for _, t := range a.st.Insts[i].Tuples {
+		for _, t := range a.st.Insts[i].Rows() {
 			am[tupleKey(t)] = t
 		}
 		bm := make(map[string]relation.Tuple, b.st.Insts[i].Len())
-		for _, t := range b.st.Insts[i].Tuples {
+		for _, t := range b.st.Insts[i].Rows() {
 			bm[tupleKey(t)] = t
 		}
 		for k, t := range am {

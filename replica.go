@@ -396,9 +396,9 @@ func (f *Follower) resync() (wal.Position, error) {
 	if err != nil {
 		return wal.Position{}, err
 	}
-	if len(ck.Tuples) != f.eng.Schema().Size() {
+	if ck.NumSchemes() != f.eng.Schema().Size() {
 		return wal.Position{}, fmt.Errorf("indep: snapshot has %d relations, schema has %d",
-			len(ck.Tuples), f.eng.Schema().Size())
+			ck.NumSchemes(), f.eng.Schema().Size())
 	}
 	for _, e := range ck.Dict {
 		_, known := f.eng.Dict().Lookup(e.Name)
@@ -410,12 +410,13 @@ func (f *Follower) resync() (wal.Position, error) {
 		}
 	}
 	st := f.eng.Snapshot()
-	for i, tuples := range ck.Tuples {
+	for i := 0; i < ck.NumSchemes(); i++ {
+		tuples := ck.TuplesOf(i)
 		want := make(map[string]bool, len(tuples))
 		for _, t := range tuples {
 			want[tupleKey(t)] = true
 		}
-		for _, t := range st.Insts[i].Tuples {
+		for _, t := range st.Insts[i].Rows() {
 			if !want[tupleKey(t)] {
 				if err := f.eng.Apply(engine.Commit{Delete: true, Ops: []engine.Op{{Scheme: i, Tuple: t}}}); err != nil {
 					return wal.Position{}, fmt.Errorf("indep: resync delete: %w", err)

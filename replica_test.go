@@ -116,8 +116,8 @@ func TestReplSourceRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot tail %s, want a segment start", tail)
 	}
 	total := 0
-	for _, tuples := range ck.Tuples {
-		total += len(tuples)
+	for i := 0; i < ck.NumSchemes(); i++ {
+		total += ck.RowCount(i)
 	}
 	if want := ds.Rows(); total != want {
 		t.Fatalf("snapshot holds %d tuples, state has %d", total, want)

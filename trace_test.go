@@ -64,9 +64,11 @@ func TestTracedInsertAllocBudget(t *testing.T) {
 	}
 }
 
-// TestUntracedQueryAllocBudget pins the untraced read path after the explain
-// and span work: a cached-plan, reused-snapshot window stays at its prior
-// allocs/op.
+// TestUntracedQueryAllocBudget pins the untraced read path: a cached-plan,
+// reused-snapshot window stays at a fixed allocs/op. The budget reflects the
+// columnar result instance — a tiny result pays a few slice headers for its
+// per-column arenas (a wash at this size; the arenas are what make wide
+// scans stream) — so the pin is against future creep, not an ideal floor.
 func TestUntracedQueryAllocBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("alloc counts are skewed under -race; CI pins them in a plain pass")
@@ -81,8 +83,8 @@ func TestUntracedQueryAllocBudget(t *testing.T) {
 		if _, err := cs.QueryCtx(ctx, q); err != nil {
 			t.Fatal(err)
 		}
-	}); n > 22 {
-		t.Fatalf("untraced QueryCtx allocates %v/op, budget 22", n)
+	}); n > 27 {
+		t.Fatalf("untraced QueryCtx allocates %v/op, budget 27", n)
 	}
 }
 
