@@ -9,6 +9,7 @@ import (
 	"indep/internal/engine"
 	"indep/internal/obs"
 	"indep/internal/relation"
+	"indep/internal/schema"
 	"indep/internal/wal"
 )
 
@@ -42,6 +43,7 @@ type BinBatchEncoder struct {
 	next   relation.Value
 	frames []byte // framed intern records, in first-use order
 	ops    []wal.TupleOp
+	dels   []wal.TupleOp
 }
 
 // NewBinBatchEncoder creates an empty encoder for the schema. The schema
@@ -74,16 +76,33 @@ func (e *BinBatchEncoder) Add(rel string, row map[string]string) error {
 	return nil
 }
 
-// Len returns the number of rows added since the last Reset.
-func (e *BinBatchEncoder) Len() int { return len(e.ops) }
+// Delete appends one delete to the batch. Within one payload all inserts
+// apply before all deletes regardless of call order: Bytes emits the inserts
+// as one atomic batch frame followed by one frame per delete, and the apply
+// paths process frames in order. Deleting an absent tuple is a no-op, never
+// an error, so deletes are safe to retry.
+func (e *BinBatchEncoder) Delete(rel string, row map[string]string) error {
+	i, t, err := rowTuple(e.sch.s, e.intern, rel, row)
+	if err != nil {
+		return err
+	}
+	e.dels = append(e.dels, wal.TupleOp{Rel: i, Tuple: t})
+	return nil
+}
 
-// Bytes renders the batch: the intern frames followed by one atomic batch
-// frame holding every added row. The result is self-contained — it binds
-// every id it references — and decodes with ApplyBinBatch.
+// Len returns the number of operations added since the last Reset.
+func (e *BinBatchEncoder) Len() int { return len(e.ops) + len(e.dels) }
+
+// Bytes renders the batch: the intern frames, one atomic batch frame holding
+// every added row, then one frame per delete. The result is self-contained —
+// it binds every id it references — and decodes with ApplyBinBatch.
 func (e *BinBatchEncoder) Bytes() []byte {
 	buf := append([]byte(nil), e.frames...)
 	if len(e.ops) > 0 {
 		buf = wal.AppendRecordFrame(buf, wal.Batch(e.ops))
+	}
+	for _, d := range e.dels {
+		buf = wal.AppendRecordFrame(buf, wal.Delete(d.Rel, d.Tuple))
 	}
 	return buf
 }
@@ -95,78 +114,247 @@ func (e *BinBatchEncoder) Reset() {
 	e.next = 0
 	e.frames = e.frames[:0]
 	e.ops = e.ops[:0]
+	e.dels = e.dels[:0]
+}
+
+// binBatchOps walks the frames of a binary batch payload, validating frame
+// checksums, intern bindings (no conflicting rebinds), relation indices,
+// arities, and value-id boundness, and calls bind once per new binding and
+// op once per tuple operation in frame order (inserts from KindInsert and
+// KindBatch frames, deletes from KindDelete frames). Tuples still hold
+// client-local ids — every one guaranteed bound — and callers resolve them
+// through the bindings they accumulated. Any error is a malformed payload,
+// reported before op has been called for the offending frame.
+func binBatchOps(s *schema.Schema, payload []byte,
+	bind func(v relation.Value, name string),
+	op func(kind wal.Kind, rel int, tuple []relation.Value) error) error {
+	arity := make([]int, s.Size())
+	for i := range arity {
+		arity[i] = s.Attrs(i).Len()
+	}
+	names := make(map[relation.Value]string) // client id → name (rebind check)
+	for buf := payload; len(buf) > 0; {
+		pl, n, err := wal.NextStreamFrame(buf)
+		if err != nil { // ErrShortFrame included: a truncated body is malformed
+			return fmt.Errorf("indep: binary batch: %w", err)
+		}
+		rec, err := wal.DecodeRecord(pl)
+		if err != nil {
+			return fmt.Errorf("indep: binary batch: %w", err)
+		}
+		buf = buf[n:]
+		switch rec.Kind {
+		case wal.KindIntern:
+			if prev, dup := names[rec.Value]; dup && prev != rec.Name {
+				return fmt.Errorf("indep: binary batch rebinds id %d (%q, then %q)",
+					int64(rec.Value), prev, rec.Name)
+			}
+			names[rec.Value] = rec.Name
+			bind(rec.Value, rec.Name)
+		case wal.KindInsert, wal.KindBatch, wal.KindDelete:
+			for _, o := range rec.Ops {
+				if o.Rel < 0 || o.Rel >= len(arity) {
+					return fmt.Errorf("indep: binary batch addresses relation %d (schema has %d)",
+						o.Rel, len(arity))
+				}
+				if len(o.Tuple) != arity[o.Rel] {
+					return fmt.Errorf("indep: binary batch: %s tuple has %d values, want %d",
+						s.Name(o.Rel), len(o.Tuple), arity[o.Rel])
+				}
+				for _, v := range o.Tuple {
+					if _, ok := names[v]; !ok {
+						return fmt.Errorf("indep: binary batch references unbound value id %d", int64(v))
+					}
+				}
+				if err := op(rec.Kind, o.Rel, o.Tuple); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("indep: binary batch: unsupported record kind %d", rec.Kind)
+		}
+	}
+	return nil
 }
 
 // ApplyBinBatch decodes a binary batch (a BinBatchEncoder payload) and
-// inserts its rows atomically, returning how many rows were admitted: either
-// every row is admitted or the state is unchanged and the first violation is
-// returned. The decode path shares the WAL's frame and record parsers and
+// applies it: all inserts are admitted atomically — either every row is
+// admitted or the state is unchanged and the first violation is returned —
+// and then any deletes are applied in frame order (a delete never fails; an
+// absent tuple is a no-op). The return value is the number of operations
+// applied. The decode path shares the WAL's frame and record parsers and
 // never touches encoding/json. Client-local value ids are remapped by
 // re-interning their bound names; a tuple referencing an unbound id, an
-// unknown relation, or a wrong arity is malformed (not a rejection).
+// unknown relation, or a wrong arity is malformed (not a rejection), and a
+// malformed payload is detected before anything is applied.
 func (cs *ConcurrentStore) ApplyBinBatch(ctx context.Context, payload []byte) (int, error) {
 	ctx, sp := obs.StartSpan(ctx, "store.batchbin")
 	if sp.Recording() {
 		sp.SetInt("bytes", int64(len(payload)))
 	}
 	defer sp.End()
-	s := cs.schema.s
-	arity := make([]int, s.Size())
-	for i := range arity {
-		arity[i] = s.Attrs(i).Len()
-	}
-	names := make(map[relation.Value]string) // client id → name (rebind check)
 	remap := make(map[relation.Value]relation.Value)
-	var eops []engine.Op
-	for buf := payload; len(buf) > 0; {
-		pl, n, err := wal.NextStreamFrame(buf)
-		if err != nil { // ErrShortFrame included: a truncated body is malformed
-			return 0, fmt.Errorf("indep: binary batch: %w", err)
-		}
-		rec, err := wal.DecodeRecord(pl)
-		if err != nil {
-			return 0, fmt.Errorf("indep: binary batch: %w", err)
-		}
-		buf = buf[n:]
-		switch rec.Kind {
-		case wal.KindIntern:
-			if prev, dup := names[rec.Value]; dup && prev != rec.Name {
-				return 0, fmt.Errorf("indep: binary batch rebinds id %d (%q, then %q)",
-					int64(rec.Value), prev, rec.Name)
+	var eops, dels []engine.Op
+	err := binBatchOps(cs.schema.s, payload,
+		func(v relation.Value, name string) { remap[v] = cs.eng.Dict().Value(name) },
+		func(kind wal.Kind, rel int, tuple []relation.Value) error {
+			t := make(relation.Tuple, len(tuple))
+			for j, v := range tuple {
+				t[j] = remap[v]
 			}
-			names[rec.Value] = rec.Name
-			remap[rec.Value] = cs.eng.Dict().Value(rec.Name)
-		case wal.KindInsert, wal.KindBatch:
-			for _, op := range rec.Ops {
-				if op.Rel < 0 || op.Rel >= len(arity) {
-					return 0, fmt.Errorf("indep: binary batch addresses relation %d (schema has %d)",
-						op.Rel, len(arity))
-				}
-				if len(op.Tuple) != arity[op.Rel] {
-					return 0, fmt.Errorf("indep: binary batch: %s tuple has %d values, want %d",
-						s.Name(op.Rel), len(op.Tuple), arity[op.Rel])
-				}
-				t := make(relation.Tuple, len(op.Tuple))
-				for j, v := range op.Tuple {
-					sv, ok := remap[v]
-					if !ok {
-						return 0, fmt.Errorf("indep: binary batch references unbound value id %d", int64(v))
-					}
-					t[j] = sv
-				}
-				eops = append(eops, engine.Op{Scheme: op.Rel, Tuple: t})
+			if kind == wal.KindDelete {
+				dels = append(dels, engine.Op{Scheme: rel, Tuple: t})
+			} else {
+				eops = append(eops, engine.Op{Scheme: rel, Tuple: t})
 			}
-		default:
-			return 0, fmt.Errorf("indep: binary batch: unsupported record kind %d", rec.Kind)
-		}
-	}
-	if len(eops) == 0 {
-		return 0, nil
-	}
-	if err := cs.eng.InsertBatchCtx(ctx, eops); err != nil {
+			return nil
+		})
+	if err != nil {
 		return 0, err
 	}
-	return len(eops), nil
+	if len(eops) > 0 {
+		if err := cs.eng.InsertBatchCtx(ctx, eops); err != nil {
+			return 0, err
+		}
+	}
+	for _, d := range dels {
+		if _, err := cs.eng.DeleteCtx(ctx, d.Scheme, d.Tuple); err != nil {
+			return len(eops), err
+		}
+	}
+	return len(eops) + len(dels), nil
+}
+
+// BinOp is one decoded operation of a binary batch payload — the
+// router-facing view of the wire format, with values resolved back to names
+// so a cluster tier can split a client batch and re-encode each operation
+// for the shard that owns it.
+type BinOp struct {
+	Rel    string
+	Delete bool
+	Row    map[string]string
+}
+
+// DecodeBinBatch decodes a binary batch payload into its operations in
+// frame order without applying anything. Validation matches ApplyBinBatch:
+// checksummed frames, no conflicting rebinds, known relations, exact
+// arities, every referenced id bound. This is how a cluster router takes a
+// batch apart before forwarding the pieces.
+func (s *Schema) DecodeBinBatch(payload []byte) ([]BinOp, error) {
+	bound := make(map[relation.Value]string)
+	var ops []BinOp
+	err := binBatchOps(s.s, payload,
+		func(v relation.Value, name string) { bound[v] = name },
+		func(kind wal.Kind, rel int, tuple []relation.Value) error {
+			attrs := s.s.Attrs(rel).Attrs()
+			row := make(map[string]string, len(attrs))
+			for j, a := range attrs {
+				row[s.s.U.Name(a)] = bound[tuple[j]]
+			}
+			ops = append(ops, BinOp{Rel: s.s.Name(rel), Delete: kind == wal.KindDelete, Row: row})
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// OpOutcome records one operation of a partially applied batch that was not
+// applied. Index is the operation's 0-based position in payload frame order
+// — the same order DecodeBinBatch returns — so a router can map a shard's
+// outcomes back onto the client's original batch.
+type OpOutcome struct {
+	Index int    `json:"index"`
+	Code  string `json:"code"` // "rejected"
+	Error string `json:"error"`
+}
+
+// BatchReport summarizes a partially applied batch. Processed counts the
+// operations attempted; it falls short of Ops only when a non-rejection
+// error (durability, chase budget) aborted the run midway, in which case
+// ApplyBinBatchPartial also returns that error. Rejections never stop the
+// batch: the rejected operation is recorded and the rest proceed.
+type BatchReport struct {
+	Ops       int         `json:"ops"`
+	Processed int         `json:"processed"`
+	Applied   int         `json:"applied"`
+	Rejected  []OpOutcome `json:"rejected,omitempty"`
+}
+
+// ApplyBinBatchPartial decodes a binary batch and applies each operation
+// individually in frame order, reporting per-operation outcomes instead of
+// the all-or-nothing semantics of ApplyBinBatch. This is the mode a cluster
+// router uses (POST /v1/batchbin?partial=1): a batch split across shards
+// cannot be atomic anyway, and per-op outcomes are what reassembles into a
+// single client-facing report. A malformed payload is detected up front and
+// applies nothing. Re-applying an accepted insert or an applied delete is a
+// no-op, so retrying a partially applied payload converges.
+func (cs *ConcurrentStore) ApplyBinBatchPartial(ctx context.Context, payload []byte) (*BatchReport, error) {
+	ctx, sp := obs.StartSpan(ctx, "store.batchbin.partial")
+	if sp.Recording() {
+		sp.SetInt("bytes", int64(len(payload)))
+	}
+	defer sp.End()
+	remap := make(map[relation.Value]relation.Value)
+	type resolved struct {
+		del bool
+		rel int
+		t   relation.Tuple
+	}
+	var ops []resolved
+	err := binBatchOps(cs.schema.s, payload,
+		func(v relation.Value, name string) { remap[v] = cs.eng.Dict().Value(name) },
+		func(kind wal.Kind, rel int, tuple []relation.Value) error {
+			t := make(relation.Tuple, len(tuple))
+			for j, v := range tuple {
+				t[j] = remap[v]
+			}
+			ops = append(ops, resolved{del: kind == wal.KindDelete, rel: rel, t: t})
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep := &BatchReport{Ops: len(ops)}
+	for i, o := range ops {
+		rep.Processed++
+		if o.del {
+			if _, err := cs.eng.DeleteCtx(ctx, o.rel, o.t); err != nil {
+				return rep, err
+			}
+			rep.Applied++
+			continue
+		}
+		switch err := cs.eng.InsertCtx(ctx, o.rel, o.t); {
+		case err == nil:
+			rep.Applied++
+		case Rejected(err):
+			rep.Rejected = append(rep.Rejected, OpOutcome{Index: i, Code: "rejected", Error: err.Error()})
+		default:
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// RelationBinary renders the named relation's live tuples as a binary
+// window result over the relation's own attributes, unsorted and unlimited —
+// the raw fragment a cluster router gathers from each shard when a window
+// must be evaluated away from the data (GET /v1/cluster/rel). Decode with
+// DecodeWindowBinary; the fragment's Total is its row count.
+func (cs *ConcurrentStore) RelationBinary(rel string) ([]byte, error) {
+	i := cs.schema.s.IndexOf(rel)
+	if i < 0 {
+		return nil, fmt.Errorf("indep: unknown relation %q", rel)
+	}
+	st := cs.eng.Snapshot()
+	inst := st.Insts[i]
+	slots := inst.LiveRows()
+	names := cs.schema.s.U.Names(cs.schema.s.Attrs(i))
+	return encodeWindowBinary(st.Dict, names, len(slots), func(r, c int) relation.Value {
+		return inst.At(slots[r], c)
+	}, len(slots), cs.eng.Fast(), false), nil
 }
 
 // Binary window-result layout (everything before the trailing checksum is

@@ -295,3 +295,149 @@ func TestBinBatchRandomEquivalence(t *testing.T) {
 		t.Fatalf("random equivalence diverged: %v", diffs)
 	}
 }
+
+// TestApplyBinBatchPartialReport pins the shard-side partial contract: a
+// payload with violations applies everything else, reports each rejection
+// under its frame index, and re-applying the same payload is a fixpoint —
+// the idempotence the cluster router's retries lean on.
+func TestApplyBinBatchPartialReport(t *testing.T) {
+	sch := binTestSchema(t)
+	enc := NewBinBatchEncoder(sch)
+	add := func(rel string, row map[string]string) {
+		t.Helper()
+		if err := enc.Add(rel, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("CT", map[string]string{"C": "c1", "T": "t1"})                                // 0: applied
+	add("CT", map[string]string{"C": "c1", "T": "t2"})                                // 1: rejected (C -> T)
+	add("CS", map[string]string{"C": "c1", "S": "s1"})                                // 2: applied
+	add("CT", map[string]string{"C": "c1", "T": "t3"})                                // 3: rejected
+	add("CS", map[string]string{"C": "c2", "S": "s2"})                                // 4: applied
+	if err := enc.Delete("CS", map[string]string{"C": "c2", "S": "s2"}); err != nil { // 5: applied
+		t.Fatal(err)
+	}
+	payload := enc.Bytes()
+
+	cs, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The atomic path voids the whole batch on the first violation...
+	if _, err := cs.ApplyBinBatch(context.Background(), payload); !Rejected(err) {
+		t.Fatalf("atomic apply: got %v, want a rejection", err)
+	}
+	if cs.Rows() != 0 {
+		t.Fatalf("atomic apply left %d rows behind after rejection", cs.Rows())
+	}
+	// ...the partial path applies around it and reports.
+	for attempt := 0; attempt < 2; attempt++ {
+		rep, err := cs.ApplyBinBatchPartial(context.Background(), payload)
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if rep.Ops != 6 || rep.Processed != 6 || rep.Applied != 4 {
+			t.Fatalf("attempt %d: report %+v, want 6/6/4", attempt, rep)
+		}
+		if len(rep.Rejected) != 2 || rep.Rejected[0].Index != 1 || rep.Rejected[1].Index != 3 {
+			t.Fatalf("attempt %d: rejected %+v, want indices 1 and 3", attempt, rep.Rejected)
+		}
+		for _, o := range rep.Rejected {
+			if o.Code != "rejected" || o.Error == "" {
+				t.Fatalf("attempt %d: outcome %+v", attempt, o)
+			}
+		}
+	}
+	if cs.Rows() != 2 { // CT(c1,t1) and CS(c1,s1); CS(c2,s2) was deleted
+		t.Fatalf("store holds %d rows, want 2", cs.Rows())
+	}
+}
+
+// TestApplyBinBatchPartialMalformed pins decode-before-apply: a payload
+// that fails validation applies nothing, even if a prefix was well-formed.
+func TestApplyBinBatchPartialMalformed(t *testing.T) {
+	sch := binTestSchema(t)
+	enc := NewBinBatchEncoder(sch)
+	if err := enc.Add("CT", map[string]string{"C": "c1", "T": "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	payload := enc.Bytes()
+	cs, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.ApplyBinBatchPartial(context.Background(), append(payload, "trailing junk"...)); err == nil {
+		t.Fatal("partial apply accepted a malformed payload")
+	}
+	if cs.Rows() != 0 {
+		t.Fatalf("malformed payload applied %d rows", cs.Rows())
+	}
+}
+
+// stablePartition reorders decoded ops the way the encoder lays them out:
+// all inserts in order, then all deletes in order.
+func stablePartition(ops []BinOp) []BinOp {
+	var out []BinOp
+	for _, op := range ops {
+		if !op.Delete {
+			out = append(out, op)
+		}
+	}
+	for _, op := range ops {
+		if op.Delete {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// FuzzDecodeShardBatch fuzzes the router-side decoder the cluster splits
+// payloads with: arbitrary bytes must error or decode cleanly, and any
+// successful decode must survive a re-encode round trip (modulo the
+// inserts-before-deletes normalization the encoder applies).
+func FuzzDecodeShardBatch(f *testing.F) {
+	sch, err := Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := NewBinBatchEncoder(sch)
+	for _, op := range binTestOps(6) {
+		if err := enc.Add(op.Rel, op.Row); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := enc.Delete("CT", map[string]string{"C": "C0", "T": "T0"}); err != nil {
+		f.Fatal(err)
+	}
+	valid := enc.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ops, err := sch.DecodeBinBatch(payload)
+		if err != nil {
+			return
+		}
+		re := NewBinBatchEncoder(sch)
+		for _, op := range ops {
+			if op.Delete {
+				err = re.Delete(op.Rel, op.Row)
+			} else {
+				err = re.Add(op.Rel, op.Row)
+			}
+			if err != nil {
+				t.Fatalf("decoded op %+v does not re-encode: %v", op, err)
+			}
+		}
+		if re.Len() != len(ops) {
+			t.Fatalf("re-encoder holds %d ops, decoded %d", re.Len(), len(ops))
+		}
+		again, err := sch.DecodeBinBatch(re.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded payload does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, stablePartition(ops)) {
+			t.Fatalf("round trip changed ops:\n got %+v\nwant %+v", again, stablePartition(ops))
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops content into the test's temp dir and returns the path.
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const floorsJSON = `{
+  "issue": 99,
+  "benchmarks": {
+    "BenchmarkGuardInsert": {
+      "before": {"ns_op": 1241},
+      "after": {"ns_op": 1000, "b_op": 363, "allocs_op": 1}
+    },
+    "indepbench -engine writeTuplesPerSec": {
+      "after": {"tuples_per_sec": 100000, "allocs_op": 24.0}
+    }
+  }
+}`
+
+// benchText mimics go test -bench -benchmem output, including the noise
+// lines and a GOMAXPROCS suffix on the benchmark name.
+func benchText(ns string) string {
+	return "goos: linux\ngoarch: amd64\npkg: indep\n" +
+		"BenchmarkGuardInsert-8   \t 4907958\t      " + ns + " ns/op\t     331 B/op\t       1 allocs/op\n" +
+		"PASS\nok  \tindep\t6.1s\n"
+}
+
+func runDiff(t *testing.T, floors, bench, engine string) (failures int, out string, err error) {
+	t.Helper()
+	outFile, cerr := os.CreateTemp(t.TempDir(), "out")
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	defer outFile.Close()
+	failures, err = run(floors, bench, engine, 0.25, outFile)
+	data, rerr := os.ReadFile(outFile.Name())
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return failures, string(data), err
+}
+
+func TestBenchdiffPasses(t *testing.T) {
+	floors := write(t, "floors.json", floorsJSON)
+	bench := write(t, "bench.txt", benchText("990.0"))
+	engine := write(t, "engine.json", `{"writeTuplesPerSec": 110000, "allocsPerOp": 23.5}`)
+	failures, out, err := runDiff(t, floors, bench, engine)
+	if err != nil || failures != 0 {
+		t.Fatalf("failures=%d err=%v\n%s", failures, err, out)
+	}
+	if strings.Contains(out, "FAIL") || strings.Contains(out, "warn") {
+		t.Fatalf("clean run printed a failure or warning:\n%s", out)
+	}
+}
+
+// Within the threshold is slower-but-ok: the gate exists for real
+// regressions, not run-to-run jitter.
+func TestBenchdiffToleratesJitter(t *testing.T) {
+	floors := write(t, "floors.json", floorsJSON)
+	bench := write(t, "bench.txt", benchText("1200.0")) // +20% < 25%
+	engine := write(t, "engine.json", `{"writeTuplesPerSec": 85000}`)
+	failures, out, err := runDiff(t, floors, bench, engine)
+	if err != nil || failures != 0 {
+		t.Fatalf("failures=%d err=%v\n%s", failures, err, out)
+	}
+}
+
+func TestBenchdiffFailsGuardRegression(t *testing.T) {
+	floors := write(t, "floors.json", floorsJSON)
+	bench := write(t, "bench.txt", benchText("1300.0")) // +30% > 25%
+	engine := write(t, "engine.json", `{"writeTuplesPerSec": 110000}`)
+	failures, out, err := runDiff(t, floors, bench, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 || !strings.Contains(out, "FAIL BenchmarkGuardInsert ns/op") {
+		t.Fatalf("failures=%d\n%s", failures, out)
+	}
+}
+
+func TestBenchdiffFailsIngestRegression(t *testing.T) {
+	floors := write(t, "floors.json", floorsJSON)
+	bench := write(t, "bench.txt", benchText("990.0"))
+	// floor/got - 1 = 100000/70000 - 1 = 43% worse.
+	engine := write(t, "engine.json", `{"writeTuplesPerSec": 70000}`)
+	failures, out, err := runDiff(t, floors, bench, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 || !strings.Contains(out, "FAIL engine ingest tuples/s") {
+		t.Fatalf("failures=%d\n%s", failures, out)
+	}
+}
+
+// Alloc regressions warn but never fail.
+func TestBenchdiffAllocsWarnOnly(t *testing.T) {
+	floors := write(t, "floors.json", floorsJSON)
+	bench := write(t, "bench.txt", benchText("990.0"))
+	engine := write(t, "engine.json", `{"writeTuplesPerSec": 110000, "allocsPerOp": 40.0}`)
+	failures, out, err := runDiff(t, floors, bench, engine)
+	if err != nil || failures != 0 {
+		t.Fatalf("failures=%d err=%v\n%s", failures, err, out)
+	}
+	if !strings.Contains(out, "warn engine ingest") {
+		t.Fatalf("no alloc warning printed:\n%s", out)
+	}
+}
+
+// A gate that cannot read its inputs must error, not pass.
+func TestBenchdiffBadInputs(t *testing.T) {
+	floors := write(t, "floors.json", floorsJSON)
+	bench := write(t, "bench.txt", benchText("990.0"))
+	engine := write(t, "engine.json", `{"writeTuplesPerSec": 110000}`)
+
+	if _, _, err := runDiff(t, write(t, "empty.json", `{}`), bench, engine); err == nil {
+		t.Fatal("floors without BenchmarkGuardInsert passed")
+	}
+	if _, _, err := runDiff(t, floors, write(t, "no.txt", "PASS\n"), engine); err == nil {
+		t.Fatal("bench output without GuardInsert passed")
+	}
+	if _, _, err := runDiff(t, floors, bench, write(t, "bad.json", `{"mode":"query"}`)); err == nil {
+		t.Fatal("engine report without writeTuplesPerSec passed")
+	}
+	if _, _, err := runDiff(t, floors, bench, write(t, "junk.json", `not json`)); err == nil {
+		t.Fatal("malformed engine JSON passed")
+	}
+}
+
+// The committed BENCH_10.json must itself satisfy the parser, so the CI
+// job cannot break by a floors-file format drift.
+func TestBenchdiffReadsCommittedFloors(t *testing.T) {
+	floors, err := loadFloors(filepath.Join("..", "..", "BENCH_10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floors.Benchmarks[guardKey].After["ns_op"] == 0 {
+		t.Fatal("BENCH_10.json has no GuardInsert ns_op floor")
+	}
+	if floors.Benchmarks[ingestKey].After["tuples_per_sec"] == 0 {
+		t.Fatal("BENCH_10.json has no ingest tuples_per_sec floor")
+	}
+}

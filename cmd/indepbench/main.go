@@ -15,6 +15,7 @@
 //
 //	indepbench -query -readers 8 -workers 2 -duration 3s
 //	indepbench -cluster -replicas 2 -nofsync -duration 3s
+//	indepbench -shards 4 -n 200000 -json      # sharded write scaling
 //	indepbench -engine -json        # machine-readable result with allocs/op
 //
 //	indepbench -printschema > bench.txt     # declaration file for indepd -file
@@ -51,6 +52,12 @@
 // follower to catch up, checks bit-for-bit convergence against the
 // primary, and reports per-follower stream counters — run it at 0, 1, 2
 // replicas to see read throughput scale with the cluster.
+//
+// The -shards mode routes binary batches through a real cluster.Router
+// over N in-process shard stores — the sharded serving tier's write path,
+// minus only the network. Run it at -shards 1 and -shards 4 on the same
+// flags to measure the write scaling the placement rule buys; BENCH_*.json
+// records the pair.
 //
 // With -json either load emits a single JSON object instead of text,
 // including -benchmem-style allocs/op and B/op (whole-process MemStats
@@ -92,6 +99,7 @@ func main() {
 	queryMode := flag.Bool("query", false, "mixed read/write load: writers insert while readers run window queries")
 	cluster := flag.Bool("cluster", false, "replication load: writers hit a durable primary, readers round-robin over primary plus -replicas followers")
 	replicas := flag.Int("replicas", 2, "in-process WAL-streaming followers to open (-cluster)")
+	shards := flag.Int("shards", 0, "route writes through a cluster.Router over N in-process shard stores (sharded write scaling)")
 	shape := flag.String("shape", "star", "workload shape: star, chain, random")
 	attrs := flag.Int("attrs", 25, "universe size of the generated schema")
 	schemes := flag.Int("schemes", 5, "relation schemes (star/random)")
@@ -109,13 +117,14 @@ func main() {
 	printSchema := flag.Bool("printschema", false, "print the generated workload schema as a declaration file (start indepd with it for -url runs) and exit")
 	flag.Parse()
 
-	if *engine || *queryMode || *cluster || *printSchema {
+	if *engine || *queryMode || *cluster || *printSchema || *shards > 0 {
 		cfg := engineConfig{
 			shape: *shape, attrs: *attrs, schemes: *schemes, seed: *seed,
 			n: *n, batch: *batch, workers: *workers,
 			readers: *readers, duration: *duration,
 			durable: *durable, dir: *dir, noFsync: *noFsync,
 			replicas: *replicas,
+			shards:   *shards,
 			jsonOut:  *jsonOut,
 			url:      *remoteURL, wire: *wire,
 		}
@@ -123,6 +132,8 @@ func main() {
 		switch {
 		case *printSchema:
 			run = runPrintSchema
+		case *shards > 0:
+			run = runShards
 		case *cluster:
 			run = runCluster
 		case *queryMode:
@@ -167,6 +178,7 @@ type engineConfig struct {
 	dir            string
 	noFsync        bool
 	replicas       int
+	shards         int
 	jsonOut        bool
 	url, wire      string
 }
@@ -206,15 +218,27 @@ type benchReport struct {
 	FastPath     bool    `json:"fastPath"`
 	Store        string  `json:"store"`
 	Workers      int     `json:"workers"`
+	Shards       int     `json:"shards,omitempty"`
 	Batch        int     `json:"batch"`
 	WriteTuples  int64   `json:"writeTuples"`
 	WriteTPS     float64 `json:"writeTuplesPerSec"`
 	WriteNsPerOp float64 `json:"writeNsPerOp"`
-	Readers      int     `json:"readers,omitempty"`
-	ReadQueries  int64   `json:"readQueries,omitempty"`
-	ReadQPS      float64 `json:"readQueriesPerSec,omitempty"`
-	ReadP50Ns    int64   `json:"readP50Ns,omitempty"`
-	ReadP99Ns    int64   `json:"readP99Ns,omitempty"`
+	// Shards mode reports two write rates. WriteTPS above is the
+	// cluster's aggregate write capacity: the sum of per-shard ingest
+	// rates, each measured with that shard timed alone — valid to sum
+	// because the routed phase proves no write touches two shards, so a
+	// real N-node cluster runs the N streams on disjoint hardware.
+	// RoutedTPS is the end-to-end rate through the router on THIS host,
+	// which in-process shards bound by HostCores no matter the shard
+	// count. See cmd/indepbench/shards.go.
+	RoutedTPS   float64     `json:"routedTuplesPerSec,omitempty"`
+	HostCores   int         `json:"hostCores,omitempty"`
+	PerShard    []shardRate `json:"perShard,omitempty"`
+	Readers     int         `json:"readers,omitempty"`
+	ReadQueries int64       `json:"readQueries,omitempty"`
+	ReadQPS     float64     `json:"readQueriesPerSec,omitempty"`
+	ReadP50Ns   int64       `json:"readP50Ns,omitempty"`
+	ReadP99Ns   int64       `json:"readP99Ns,omitempty"`
 	// MeasuredOps is the denominator of AllocsPerOp/BytesPerOp: write
 	// tuples in engine mode, write tuples + read queries in query mode
 	// (measured over the mixed phase). Compare per-op figures only between
@@ -258,6 +282,16 @@ type followerReport struct {
 	// CatchUpNs is how long the follower took to cover the primary's final
 	// flushed position after writers stopped — drain lag, not clock skew.
 	CatchUpNs int64 `json:"catchUpNs"`
+}
+
+// shardRate is one shard's entry in the -shards capacity phase: the rows
+// the placement routed to it and the ingest rate measured with the shard
+// timed alone.
+type shardRate struct {
+	Shard     string  `json:"shard"`
+	Rows      int     `json:"rows"`
+	TPS       float64 `json:"tuplesPerSec"`
+	ElapsedNs int64   `json:"elapsedNs"`
 }
 
 // latQuantiles renders a latency histogram snapshot for the JSON report.

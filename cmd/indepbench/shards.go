@@ -1,0 +1,290 @@
+package main
+
+// The -shards mode measures the tentpole claim of the sharded serving
+// tier: because an independent schema validates every insert using only
+// the owning relation's local state, a router can split writes across N
+// shard stores with zero cross-shard coordination — so aggregate write
+// capacity scales with node count, not just cores.
+//
+// The run has two phases:
+//
+//  1. Routed: binary batch payloads are driven through a real
+//     cluster.Router over in-process shards (LocalTransport — the full
+//     encode/decode/route/apply path, minus only the network). This phase
+//     proves correctness (row-count audit, zero rejections, a gathered
+//     window over the assembled state) and reports the end-to-end routed
+//     throughput, which on a C-core host is bounded by C no matter how
+//     many shards exist — in-process shards share the host's cores.
+//
+//  2. Capacity: the same op stream is split per owner by the router's
+//     placement, then each shard's share is applied against a fresh store
+//     with that shard timed alone, so the measurement is exactly the work
+//     one node does. Because the routed phase demonstrated that no write
+//     ever touches two shards, the shards are shared-nothing: a real
+//     N-node cluster runs those N ingest streams on disjoint hardware,
+//     and its aggregate write throughput is the sum of the per-shard
+//     rates. That sum is the headline writeTuplesPerSec; the JSON also
+//     carries routedTuplesPerSec, the per-shard breakdown, and hostCores
+//     so the two numbers can never be confused.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"indep"
+	"indep/internal/cluster"
+	"indep/internal/obs"
+)
+
+func runShards(cfg engineConfig) error {
+	sch, err := buildWorkloadSchema(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	members := make([]cluster.Member, cfg.shards)
+	transports := make(map[string]cluster.Transport, cfg.shards)
+	stores := make([]*indep.ConcurrentStore, cfg.shards)
+	for i := range members {
+		name := fmt.Sprintf("shard%d", i+1)
+		store, err := sch.OpenConcurrentStore()
+		if err != nil {
+			return err
+		}
+		stores[i] = store
+		members[i] = cluster.Member{Name: name, URL: "local://" + name}
+		transports[name] = &cluster.LocalTransport{Shard: name, Store: store}
+	}
+	rt, err := cluster.NewRouter(sch, members, cluster.Options{Transports: transports})
+	if err != nil {
+		return err
+	}
+	rels := sch.Relations()
+	if !cfg.jsonOut {
+		fmt.Printf("shard load: shape=%s schemes=%d attrs=%d shards=%d workers=%d batch=%d cores=%d\n",
+			cfg.shape, len(rels), cfg.attrs, cfg.shards, cfg.workers, cfg.batch, runtime.NumCPU())
+	}
+
+	// The same disjoint seed striping as the engine run, so single-node and
+	// sharded numbers are directly comparable.
+	starts := make([]int, cfg.workers+1)
+	for w := 0; w < cfg.workers; w++ {
+		count := cfg.n / cfg.workers
+		if w < cfg.n%cfg.workers {
+			count++
+		}
+		starts[w+1] = starts[w] + count
+	}
+	ctx := context.Background()
+	errs := make(chan error, cfg.workers)
+	var rejected atomic.Int64
+	var writeLat obs.Histogram
+	probe := startMemProbe()
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		go func(w int) {
+			enc := indep.NewBinBatchEncoder(sch)
+			base, per := starts[w], starts[w+1]-starts[w]
+			for i := 0; i < per; i += cfg.batch {
+				k := min(cfg.batch, per-i)
+				enc.Reset()
+				for j := 0; j < k; j++ {
+					seed := base + i + j
+					rel := rels[seed%len(rels)]
+					row, err := rowFor(sch, rel, seed)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := enc.Add(rel, row); err != nil {
+						errs <- err
+						return
+					}
+				}
+				bs := time.Now()
+				rep, err := rt.Batch(ctx, enc.Bytes())
+				if err != nil {
+					errs <- err
+					return
+				}
+				writeLat.ObserveSince(bs)
+				rejected.Add(int64(len(rep.Rejected)))
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < cfg.workers; w++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	routedElapsed := time.Since(start)
+	total := starts[cfg.workers]
+	allocsPerOp, bytesPerOp := probe.perOp(int64(total))
+
+	// Audit: the workload is conflict-free by construction, so every tuple
+	// must have landed on exactly one shard, and a gathered window over one
+	// relation must see every row that relation received.
+	if n := rejected.Load(); n != 0 {
+		return fmt.Errorf("workload rejected %d tuples; the generator promises zero conflicts", n)
+	}
+	var rows int
+	for _, store := range stores {
+		rows += store.Rows()
+	}
+	if rows != total {
+		return fmt.Errorf("shards hold %d rows, expected %d", rows, total)
+	}
+	attrs, err := sch.RelationAttrs(rels[0])
+	if err != nil {
+		return err
+	}
+	res, err := rt.Window(ctx, indep.WindowQuery{Attrs: attrs})
+	if err != nil {
+		return err
+	}
+	perRel := total / len(rels)
+	if total%len(rels) != 0 {
+		perRel++ // seeds cycle rel-by-rel, so relation 0 takes the remainder
+	}
+	if res.Total < perRel {
+		return fmt.Errorf("gathered window over %s sees %d rows, expected at least %d",
+			rels[0], res.Total, perRel)
+	}
+
+	perShard, err := shardCapacity(ctx, sch, rt, members, cfg, total)
+	if err != nil {
+		return err
+	}
+	var aggTPS float64
+	var shardNs int64
+	for _, s := range perShard {
+		aggTPS += s.TPS
+		shardNs += s.ElapsedNs
+	}
+	routedTPS := float64(total) / routedElapsed.Seconds()
+
+	if cfg.jsonOut {
+		return emitJSON(benchReport{
+			Mode: "shards", Shape: cfg.shape, Schemes: len(rels), Attrs: cfg.attrs,
+			FastPath: rt.Status().Mode == "sharded", Store: fmt.Sprintf("router over %d local shards", cfg.shards),
+			Shards:  cfg.shards,
+			Workers: cfg.workers, Batch: cfg.batch,
+			WriteTuples: int64(total),
+			WriteTPS:    aggTPS,
+			// Mean shard-side cost per tuple, consistent with the
+			// capacity-sum headline above.
+			WriteNsPerOp: float64(shardNs) / float64(max(total, 1)),
+			RoutedTPS:    routedTPS,
+			HostCores:    runtime.NumCPU(),
+			PerShard:     perShard,
+			MeasuredOps:  int64(total),
+			AllocsPerOp:  allocsPerOp, BytesPerOp: bytesPerOp,
+			ElapsedNs:     routedElapsed.Nanoseconds(),
+			WriteBatchLat: latFromSnapshot(writeLat.Snapshot()),
+		})
+	}
+	fmt.Printf("routed %d tuples in %v (%.0f tuples/s end-to-end on %d cores; %.1f allocs/op, %.0f B/op)\n",
+		total, routedElapsed.Round(time.Millisecond), routedTPS,
+		runtime.NumCPU(), allocsPerOp, bytesPerOp)
+	if bl := latFromSnapshot(writeLat.Snapshot()); bl != nil {
+		fmt.Printf("batch latency: p50=%v p90=%v p99=%v p999=%v (%d batches)\n",
+			time.Duration(bl.P50Ns), time.Duration(bl.P90Ns),
+			time.Duration(bl.P99Ns), time.Duration(bl.P999Ns), bl.Count)
+	}
+	for i, s := range perShard {
+		fmt.Printf("%-8s %10d rows   %10.0f tuples/s   (routed phase held %d rows)\n",
+			s.Shard, s.Rows, s.TPS, stores[i].Rows())
+	}
+	fmt.Printf("aggregate write capacity: %.0f tuples/s over %d shard(s)\n", aggTPS, cfg.shards)
+	return nil
+}
+
+// shardCapacity splits the benchmark's op stream per owner with the
+// router's own placement, then times each shard's ingest alone against a
+// fresh store. Encoding is done up front (it is client/router work, not
+// shard work); the timed region is exactly what one node does per payload:
+// decode, validate against local state, insert.
+func shardCapacity(ctx context.Context, sch *indep.Schema, rt *cluster.Router,
+	members []cluster.Member, cfg engineConfig, total int) ([]shardRate, error) {
+	rels := sch.Relations()
+	place := rt.Placement()
+	encs := make(map[string]*indep.BinBatchEncoder, len(members))
+	pending := make(map[string]int, len(members))
+	payloads := make(map[string][][]byte, len(members))
+	for _, m := range members {
+		encs[m.Name] = indep.NewBinBatchEncoder(sch)
+	}
+	flush := func(shard string) {
+		if pending[shard] == 0 {
+			return
+		}
+		buf := encs[shard].Bytes()
+		payloads[shard] = append(payloads[shard], append([]byte(nil), buf...))
+		encs[shard].Reset()
+		pending[shard] = 0
+	}
+	for seed := 0; seed < total; seed++ {
+		rel := rels[seed%len(rels)]
+		row, err := rowFor(sch, rel, seed)
+		if err != nil {
+			return nil, err
+		}
+		owner, err := place.Owner(rel, row)
+		if err != nil {
+			return nil, err
+		}
+		if err := encs[owner].Add(rel, row); err != nil {
+			return nil, err
+		}
+		if pending[owner]++; pending[owner] >= cfg.batch {
+			flush(owner)
+		}
+	}
+	for _, m := range members {
+		flush(m.Name)
+	}
+
+	out := make([]shardRate, 0, len(members))
+	var rows int
+	for _, m := range members {
+		store, err := sch.OpenConcurrentStore()
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, p := range payloads[m.Name] {
+			rep, err := store.ApplyBinBatchPartial(ctx, p)
+			if err != nil {
+				return nil, fmt.Errorf("capacity phase, %s: %w", m.Name, err)
+			}
+			if len(rep.Rejected) != 0 {
+				return nil, fmt.Errorf("capacity phase, %s: %d rejected tuples in a conflict-free workload",
+					m.Name, len(rep.Rejected))
+			}
+		}
+		elapsed := time.Since(start)
+		n := store.Rows()
+		rows += n
+		out = append(out, shardRate{
+			Shard: m.Name, Rows: n,
+			TPS:       float64(n) / elapsed.Seconds(),
+			ElapsedNs: elapsed.Nanoseconds(),
+		})
+	}
+	if rows != total {
+		return nil, fmt.Errorf("capacity phase applied %d rows, expected %d", rows, total)
+	}
+	return out, nil
+}

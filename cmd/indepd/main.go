@@ -82,6 +82,7 @@ import (
 	"time"
 
 	"indep"
+	"indep/internal/cluster"
 	"indep/internal/obs"
 )
 
@@ -92,6 +93,10 @@ func main() {
 	file := flag.String("file", "", "read schema/fds from a declaration file")
 	data := flag.String("data", "", "data directory for the write-ahead log (empty: in-memory only)")
 	follow := flag.String("follow", "", "primary base URL to replicate from (replica mode; requires -data, serves reads only)")
+	clusterOn := flag.Bool("cluster", false, "routing-tier mode: no local store, split writes across -shards and scatter-gather windows")
+	shards := flag.String("shards", "", "static shard membership for -cluster, e.g. 'shard1=http://10.0.0.1:8080,shard2=http://10.0.0.2:8080'")
+	clusterParts := flag.Int("cluster-parts", 0, "hash ranges per partitionable relation (0: twice the shard count)")
+	healthEvery := flag.Duration("cluster-health-interval", 5*time.Second, "shard health-check cadence in -cluster mode")
 	noFsync := flag.Bool("nofsync", false, "durable mode without fsync (survives process crashes, not power loss)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn, or error")
@@ -120,6 +125,33 @@ func main() {
 		fatal(err)
 	}
 	logger.Info("schema loaded", "schema", sch.String())
+
+	if *clusterOn {
+		if *shards == "" {
+			fatal(fmt.Errorf("-cluster requires -shards (e.g. -shards 'shard1=http://host1:8080,shard2=http://host2:8080')"))
+		}
+		if *data != "" || *follow != "" {
+			fatal(fmt.Errorf("-cluster is a stateless routing tier; it takes neither -data nor -follow"))
+		}
+		members, err := cluster.ParseMembers(*shards)
+		if err != nil {
+			fatal(err)
+		}
+		rt, err := cluster.NewRouter(sch, members, cluster.Options{
+			Parts:  *clusterParts,
+			Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if shard, fb := rt.Fallback(); fb {
+			logger.Warn("cluster mode running in single-node fallback", "shard", shard)
+		} else {
+			logger.Info("cluster mode", "shards", len(members), "parts", rt.Placement().Parts())
+		}
+		serveCluster(newRouterServer(rt, logger), *addr, *healthEvery, logger)
+		return
+	}
 
 	// Listener first, store second: /healthz and /readyz must answer while
 	// a large write-ahead log replays, and an orchestrator must be able to
@@ -275,6 +307,7 @@ func newServer(sch *indep.Schema, logger *slog.Logger, pprofOn bool, rec obs.Rec
 	handle("DELETE /tuple", s.handleDelete)
 	handle("POST /checkpoint", s.handleCheckpoint)
 	handle("GET /window", s.handleWindow)
+	handle("GET /cluster/rel", s.handleClusterRel)
 	handle("GET /state", s.handleState)
 	handle("GET /analysis", s.handleAnalysis)
 	handle("GET /stats", s.handleStats)
@@ -427,15 +460,38 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // handleBatchBin ingests a length-prefixed binary batch (the payload a
 // indep.BinBatchEncoder builds): WAL record frames, decoded and applied
 // atomically without touching encoding/json anywhere on the path — the
-// response is written literally too.
+// response is written literally too. With ?partial=1 — the mode a cluster
+// router forwards sub-batches in — operations apply individually in frame
+// order and the response is the per-op indep.BatchReport: rejections ride
+// inside a 200 instead of aborting the batch, because a batch split across
+// shards cannot be atomic anyway.
 func (s *server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
 	if s.readOnly(w) {
 		return
+	}
+	partial := false
+	if p := r.URL.Query().Get("partial"); p != "" {
+		b, err := strconv.ParseBool(p)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad partial parameter " + strconv.Quote(p)})
+			return
+		}
+		partial = b
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	payload, err := io.ReadAll(r.Body)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad body: " + err.Error()})
+		return
+	}
+	if partial {
+		rep, err := s.store.ApplyBinBatchPartial(r.Context(), payload)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		s.noteVersion(w)
+		writeJSON(w, http.StatusOK, rep)
 		return
 	}
 	n, err := s.store.ApplyBinBatch(r.Context(), payload)
@@ -447,6 +503,25 @@ func (s *server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintf(w, `{"status":"ok","accepted":%d}`+"\n", n)
+}
+
+// handleClusterRel serves the shard's raw fragment of one relation as the
+// binary window encoding — what a cluster router gathers before evaluating
+// a scattered window. The fragment is a consistent snapshot of this shard.
+func (s *server) handleClusterRel(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "missing name parameter (e.g. ?name=CT)"})
+		return
+	}
+	data, err := s.store.RelationBinary(name)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", indep.BinContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
 }
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -166,6 +166,17 @@ type Analysis struct {
 	// that suffices for maintaining it (meaningful when Independent; these
 	// are the FDs the fast Store guard enforces).
 	RelationCovers map[string][]string
+	// PartitionKeys maps each relation name to the attributes a cluster may
+	// hash-partition it by without breaking local validation: the
+	// intersection of the left-hand sides of the relation's cover F_i. The
+	// guard only ever compares tuples that agree on some LHS, and since the
+	// key is a subset of every LHS, any two tuples that could conflict agree
+	// on the key — so they hash to the same partition and every partition
+	// validates with only its own tuples. A relation with no FDs may be
+	// partitioned by its full scheme; a relation whose LHS intersection is
+	// empty maps to nil and must live whole on one node. Meaningful only
+	// when Independent.
+	PartitionKeys map[string][]string
 	// FailingFDs lists FDs of F underivable from embedded FDs, when
 	// Reason is "not-cover-embedding".
 	FailingFDs []string
@@ -201,13 +212,22 @@ func (s *Schema) newAnalysis(res *independence.Result) *Analysis {
 	}
 	if res.Independent {
 		a.RelationCovers = make(map[string][]string, s.s.Size())
+		a.PartitionKeys = make(map[string][]string, s.s.Size())
 		for i := range s.s.Rels {
 			var fs []string
-			for _, f := range res.Cover.ForScheme(i) {
+			cover := res.Cover.ForScheme(i)
+			key := s.s.Attrs(i)
+			for _, f := range cover {
 				fs = append(fs, f.Format(s.s.U))
+				key = key.Intersect(f.LHS)
 			}
 			sort.Strings(fs)
 			a.RelationCovers[s.s.Name(i)] = fs
+			if key.IsEmpty() {
+				a.PartitionKeys[s.s.Name(i)] = nil
+			} else {
+				a.PartitionKeys[s.s.Name(i)] = s.s.U.Names(key)
+			}
 		}
 		return a
 	}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"indep"
+	"indep/internal/hashkey"
+)
+
+// Placement maps every relation — and every hash range of a partitionable
+// relation — to its owning shard. It is computed once at router startup
+// from the schema analysis and the membership, is identical on every router
+// over the same inputs, and never changes while the process runs.
+type Placement struct {
+	parts int
+	rels  map[string]*relPlace
+}
+
+type relPlace struct {
+	// key lists the partition-key attributes in schema order; nil means the
+	// relation is unpartitionable (no FDs with a common LHS attribute, or a
+	// non-independent schema) and lives whole on owners[0].
+	key    []string
+	owners []string // one per hash range; length 1 when key is nil
+}
+
+// PlanPlacement computes the placement. parts is the number of hash ranges
+// a partitionable relation is split into (more ranges spread a hot relation
+// over more shards; parts below the shard count caps the spread). When the
+// analysis is not independent every relation is pinned whole to the ring
+// owner of the empty name — one designated shard — because validation then
+// needs the entire state in one place; the router reports this as fallback
+// mode.
+func PlanPlacement(sch *indep.Schema, an *indep.Analysis, members []Member, parts, vnodes int) *Placement {
+	if parts < 1 {
+		parts = 1
+	}
+	ring := NewRing(members, vnodes)
+	p := &Placement{parts: parts, rels: make(map[string]*relPlace)}
+	if !an.Independent {
+		owner := ring.Owner(hashkey.Str(hashkey.Init, ""))
+		for _, rel := range sch.Relations() {
+			p.rels[rel] = &relPlace{owners: []string{owner}}
+		}
+		return p
+	}
+	for _, rel := range sch.Relations() {
+		key := an.PartitionKeys[rel]
+		if len(key) == 0 {
+			p.rels[rel] = &relPlace{owners: []string{ring.Owner(hashkey.Str(hashkey.Init, rel))}}
+			continue
+		}
+		rp := &relPlace{key: key, owners: make([]string, parts)}
+		for i := range rp.owners {
+			h := hashkey.Str(hashkey.Init, rel)
+			rp.owners[i] = ring.Owner(hashkey.Mix(h, uint64(i)))
+		}
+		p.rels[rel] = rp
+	}
+	return p
+}
+
+// Owner returns the shard owning the row of the relation: the owner of the
+// hash range the row's partition-key values fall into. The row must hold a
+// value for every key attribute (a full row always does).
+func (p *Placement) Owner(rel string, row map[string]string) (string, error) {
+	rp := p.rels[rel]
+	if rp == nil {
+		return "", fmt.Errorf("cluster: unknown relation %q", rel)
+	}
+	if rp.key == nil {
+		return rp.owners[0], nil
+	}
+	h := hashkey.Init
+	for _, a := range rp.key {
+		v, ok := row[a]
+		if !ok {
+			return "", fmt.Errorf("cluster: row of %s misses partition-key attribute %s", rel, a)
+		}
+		h = hashkey.Str(h, v)
+	}
+	return rp.owners[hashkey.Range(h, p.parts)], nil
+}
+
+// Owners returns the distinct shards holding any fragment of the relation —
+// the gather set for that relation — in sorted order.
+func (p *Placement) Owners(rel string) []string {
+	rp := p.rels[rel]
+	if rp == nil {
+		return nil
+	}
+	seen := make(map[string]bool, len(rp.owners))
+	var out []string
+	for _, o := range rp.owners {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PartitionKey returns the partition-key attributes of the relation (nil
+// when it is unpartitioned), for status reporting.
+func (p *Placement) PartitionKey(rel string) []string { return p.rels[rel].key }
+
+// Parts returns the number of hash ranges per partitionable relation.
+func (p *Placement) Parts() int { return p.parts }

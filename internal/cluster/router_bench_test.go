@@ -1,0 +1,93 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"indep"
+	"indep/internal/cluster"
+)
+
+// benchPayloads builds conflict-free 64-op payloads cycling the relations.
+func benchPayloads(b *testing.B, sch *indep.Schema, n int) [][]byte {
+	b.Helper()
+	rels := []struct {
+		name  string
+		attrs []string
+	}{{"CT", []string{"C", "T"}}, {"CS", []string{"C", "S"}}, {"CHR", []string{"C", "H", "R"}}}
+	var payloads [][]byte
+	seed := 0
+	for p := 0; p < n; p++ {
+		enc := indep.NewBinBatchEncoder(sch)
+		for i := 0; i < 64; i++ {
+			r := rels[seed%len(rels)]
+			row := make(map[string]string, len(r.attrs))
+			for _, a := range r.attrs {
+				row[a] = fmt.Sprintf("%s_%d", a, seed)
+			}
+			if err := enc.Add(r.name, row); err != nil {
+				b.Fatal(err)
+			}
+			seed++
+		}
+		payloads = append(payloads, enc.Bytes())
+	}
+	return payloads
+}
+
+func benchRouter(b *testing.B, shards int) {
+	sch, err := indep.Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := newTestCluster(b, sch, shards, cluster.Options{}, nil)
+	payloads := benchPayloads(b, sch, 256)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := tc.rt.Batch(ctx, payloads[i%len(payloads)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkRouterBatch1(b *testing.B) { benchRouter(b, 1) }
+func BenchmarkRouterBatch4(b *testing.B) { benchRouter(b, 4) }
+
+func BenchmarkApplyPartial(b *testing.B) {
+	sch, err := indep.Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := sch.OpenConcurrentStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payloads := benchPayloads(b, sch, 256)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.ApplyBinBatchPartial(ctx, payloads[i%len(payloads)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBinBatch(b *testing.B) {
+	sch, err := indep.Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payloads := benchPayloads(b, sch, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sch.DecodeBinBatch(payloads[i%len(payloads)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

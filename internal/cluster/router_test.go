@@ -1,0 +1,596 @@
+package cluster_test
+
+// Router tests run a whole cluster in one process over LocalTransports (so
+// -race watches every cross-shard interaction) and hold it against a
+// single-node oracle: the independence theorem says sharded admission and
+// gathered windows must be observably identical to one node holding all
+// the data. The fault-injected variants wrap each transport in
+// replt.ShardInjector and demand the same equivalence through disconnects,
+// duplicated forwards, and a shard killed mid-batch.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"indep"
+	"indep/internal/cluster"
+	"indep/internal/replt"
+)
+
+// testCluster is an in-process cluster: one router over n shard stores.
+type testCluster struct {
+	sch    *indep.Schema
+	rt     *cluster.Router
+	stores map[string]*indep.ConcurrentStore
+}
+
+func runningExample(t testing.TB) *indep.Schema {
+	t.Helper()
+	sch, err := indep.Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+// newTestCluster builds an n-shard local cluster. wrap, when non-nil, maps
+// each shard's transport through a fault layer.
+func newTestCluster(t testing.TB, sch *indep.Schema, n int, opts cluster.Options,
+	wrap func(shard string, tr cluster.Transport) cluster.Transport) *testCluster {
+	t.Helper()
+	var members []cluster.Member
+	stores := make(map[string]*indep.ConcurrentStore, n)
+	opts.Transports = make(map[string]cluster.Transport, n)
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		members = append(members, cluster.Member{Name: name, URL: "local://" + name})
+		store, err := sch.OpenConcurrentStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[name] = store
+		var tr cluster.Transport = &cluster.LocalTransport{Shard: name, Store: store}
+		if wrap != nil {
+			tr = wrap(name, tr)
+		}
+		opts.Transports[name] = tr
+	}
+	rt, err := cluster.NewRouter(sch, members, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testCluster{sch: sch, rt: rt, stores: stores}
+}
+
+// assembled unions every shard's fragments back into one database, through
+// the same binary fragment encoding the router gathers over.
+func (tc *testCluster) assembled(t testing.TB) *indep.Database {
+	t.Helper()
+	db := tc.sch.NewDatabase()
+	for shard, store := range tc.stores {
+		for _, rel := range tc.sch.Relations() {
+			data, err := store.RelationBinary(rel)
+			if err != nil {
+				t.Fatalf("shard %s relation %s: %v", shard, rel, err)
+			}
+			frag, err := indep.DecodeWindowBinary(data)
+			if err != nil {
+				t.Fatalf("shard %s relation %s: %v", shard, rel, err)
+			}
+			for _, row := range frag.Rows {
+				if err := db.Insert(rel, row); err != nil {
+					t.Fatalf("assembling %s from %s: %v", rel, shard, err)
+				}
+			}
+		}
+	}
+	return db
+}
+
+// clusterOps builds a deterministic mixed workload: valid inserts, FD
+// violations (same C, different T), and deletes of earlier rows.
+func clusterOps(rng *rand.Rand, n int) []indep.BatchOp {
+	ops := make([]indep.BatchOp, 0, n)
+	for i := 0; i < n; i++ {
+		c := fmt.Sprintf("c%d", rng.Intn(n/2+1))
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			ops = append(ops, indep.BatchOp{Rel: "CS", Row: map[string]string{"C": c, "S": fmt.Sprintf("s%d", rng.Intn(5))}})
+		case 3, 4:
+			ops = append(ops, indep.BatchOp{Rel: "CHR", Row: map[string]string{"C": c, "H": fmt.Sprintf("h%d", rng.Intn(4)), "R": "r0"}})
+		case 5:
+			// Violation bait: T depends on C, but T is drawn independently,
+			// so repeats of the same C often disagree.
+			ops = append(ops, indep.BatchOp{Rel: "CT", Row: map[string]string{"C": c, "T": fmt.Sprintf("t%d", rng.Intn(3))}})
+		default:
+			ops = append(ops, indep.BatchOp{Rel: "CT", Row: map[string]string{"C": c, "T": "t-of-" + c}})
+		}
+	}
+	return ops
+}
+
+// encodePayload packs inserts and, for a suffix of the ops, deletes —
+// matching the wire contract: all inserts apply before all deletes.
+func encodePayload(t testing.TB, sch *indep.Schema, ops []indep.BatchOp, dels []indep.BatchOp) []byte {
+	t.Helper()
+	enc := indep.NewBinBatchEncoder(sch)
+	for _, op := range ops {
+		if err := enc.Add(op.Rel, op.Row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, op := range dels {
+		if err := enc.Delete(op.Rel, op.Row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return enc.Bytes()
+}
+
+// reportsEqual compares two batch reports by counts and rejection
+// positions. Error strings are compared by code only: the shard and the
+// oracle phrase the same violation against different local states.
+func reportsEqual(a, b *indep.BatchReport) string {
+	if a.Ops != b.Ops || a.Processed != b.Processed || a.Applied != b.Applied {
+		return fmt.Sprintf("counts differ: ops %d/%d processed %d/%d applied %d/%d",
+			a.Ops, b.Ops, a.Processed, b.Processed, a.Applied, b.Applied)
+	}
+	if len(a.Rejected) != len(b.Rejected) {
+		return fmt.Sprintf("rejected %d vs %d", len(a.Rejected), len(b.Rejected))
+	}
+	for i := range a.Rejected {
+		if a.Rejected[i].Index != b.Rejected[i].Index || a.Rejected[i].Code != b.Rejected[i].Code {
+			return fmt.Sprintf("rejection %d: (%d,%s) vs (%d,%s)", i,
+				a.Rejected[i].Index, a.Rejected[i].Code, b.Rejected[i].Index, b.Rejected[i].Code)
+		}
+	}
+	return ""
+}
+
+var windowPanel = [][]string{{"C", "T"}, {"C", "S"}, {"C", "H", "R"}, {"C", "T", "S"}, {"T", "S"}}
+
+// checkOracle diffs the assembled cluster state (by value names — the
+// gathered state interns in arrival order, so ids are not comparable) and
+// the window panel against the single-node oracle.
+func (tc *testCluster) checkOracle(t testing.TB, oracle *indep.ConcurrentStore) {
+	t.Helper()
+	if diffs := indep.DiffDatabasesByName(oracle.Snapshot(), tc.assembled(t)); diffs != nil {
+		t.Fatalf("cluster diverged from single node: %v", diffs)
+	}
+	for _, attrs := range windowPanel {
+		want, err := oracle.QueryCtx(context.Background(), indep.WindowQuery{Attrs: attrs})
+		if err != nil {
+			t.Fatalf("oracle window %v: %v", attrs, err)
+		}
+		got, err := tc.rt.Window(context.Background(), indep.WindowQuery{Attrs: attrs})
+		if err != nil {
+			t.Fatalf("router window %v: %v", attrs, err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) || got.Total != want.Total {
+			t.Fatalf("router window %v: %d rows (total %d), oracle %d rows (total %d)",
+				attrs, len(got.Rows), got.Total, len(want.Rows), want.Total)
+		}
+	}
+}
+
+// TestRouterBatchMatchesSingleNode is the core equivalence: a mixed
+// insert/delete payload routed across 3 shards produces the same per-op
+// report and the same observable state as one node applying it serially.
+func TestRouterBatchMatchesSingleNode(t *testing.T) {
+	sch := runningExample(t)
+	rng := rand.New(rand.NewSource(1))
+	tc := newTestCluster(t, sch, 3, cluster.Options{}, nil)
+	oracle, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 8; round++ {
+		ops := clusterOps(rng, 120)
+		var dels []indep.BatchOp
+		for _, op := range ops {
+			if rng.Intn(12) == 0 {
+				dels = append(dels, op)
+			}
+		}
+		payload := encodePayload(t, sch, ops, dels)
+
+		want, err := oracle.ApplyBinBatchPartial(context.Background(), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.rt.Batch(context.Background(), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := reportsEqual(got, want); msg != "" {
+			t.Fatalf("round %d: %s", round, msg)
+		}
+		if round == 0 && len(want.Rejected) == 0 {
+			t.Fatal("workload produced no rejections; violation bait is broken")
+		}
+	}
+	tc.checkOracle(t, oracle)
+}
+
+// TestRouterSingleOps pins Insert/Delete routing and the rejection error
+// contract (indep.Rejected, matching ConcurrentStore).
+func TestRouterSingleOps(t *testing.T) {
+	sch := runningExample(t)
+	tc := newTestCluster(t, sch, 3, cluster.Options{}, nil)
+	ctx := context.Background()
+	if err := tc.rt.Insert(ctx, "CT", map[string]string{"C": "c1", "T": "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	err := tc.rt.Insert(ctx, "CT", map[string]string{"C": "c1", "T": "t2"})
+	if !indep.Rejected(err) {
+		t.Fatalf("conflicting insert: got %v, want a rejection", err)
+	}
+	// Idempotent re-insert, then delete, then re-delete (a no-op).
+	if err := tc.rt.Insert(ctx, "CT", map[string]string{"C": "c1", "T": "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.rt.Delete(ctx, "CT", map[string]string{"C": "c1", "T": "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.rt.Delete(ctx, "CT", map[string]string{"C": "c1", "T": "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tc.rt.Window(ctx, indep.WindowQuery{Attrs: []string{"C", "T"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 {
+		t.Fatalf("window after delete holds %d rows", res.Total)
+	}
+}
+
+// TestRouterWindowFilters pins that where/project/limit survive the
+// scatter-gather path unchanged.
+func TestRouterWindowFilters(t *testing.T) {
+	sch := runningExample(t)
+	tc := newTestCluster(t, sch, 3, cluster.Options{}, nil)
+	oracle, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	payload := encodePayload(t, sch, clusterOps(rng, 90), nil)
+	if _, err := oracle.ApplyBinBatchPartial(ctx, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.rt.Batch(ctx, payload); err != nil {
+		t.Fatal(err)
+	}
+	q := indep.WindowQuery{
+		Attrs:   []string{"C", "T", "S"},
+		Where:   map[string]string{"S": "s1"},
+		Project: []string{"C", "S"},
+		Limit:   5,
+	}
+	want, err := oracle.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tc.rt.Window(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) || got.Total != want.Total {
+		t.Fatalf("filtered window: got %v (total %d), want %v (total %d)",
+			got.Rows, got.Total, want.Rows, want.Total)
+	}
+}
+
+// TestRouterFallbackMode pins the degraded path: a non-independent schema
+// pins everything to one shard, windows are proxied, and status says so.
+func TestRouterFallbackMode(t *testing.T) {
+	sch, err := indep.Parse("R(A,B); S(B,C)", "C -> A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := newTestCluster(t, sch, 3, cluster.Options{}, nil)
+	shard, ok := tc.rt.Fallback()
+	if !ok {
+		t.Fatal("router did not report fallback mode")
+	}
+	st := tc.rt.Status()
+	if st.Mode != "fallback" || st.Reason == "" {
+		t.Fatalf("status = %q (%q), want fallback with a reason", st.Mode, st.Reason)
+	}
+	ctx := context.Background()
+	if err := tc.rt.Insert(ctx, "R", map[string]string{"A": "a1", "B": "b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.rt.Insert(ctx, "S", map[string]string{"B": "b1", "C": "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	for name, store := range tc.stores {
+		rows := store.Rows()
+		if name == shard && rows != 2 {
+			t.Errorf("designated shard %s holds %d rows, want 2", name, rows)
+		}
+		if name != shard && rows != 0 {
+			t.Errorf("idle shard %s holds %d rows, want 0", name, rows)
+		}
+	}
+	res, err := tc.rt.Window(ctx, indep.WindowQuery{Attrs: []string{"A", "B", "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 1 {
+		t.Fatalf("proxied window total = %d, want 1", res.Total)
+	}
+}
+
+// TestRouterShardDown pins failure classification: with one shard
+// unreachable, ops owned by it fail with a ShardError (the 503 signal),
+// ops owned by live shards keep working, and the health table notices.
+func TestRouterShardDown(t *testing.T) {
+	sch := runningExample(t)
+	injectors := make(map[string]*replt.ShardInjector)
+	tc := newTestCluster(t, sch, 3, cluster.Options{Backoff: 1},
+		func(shard string, tr cluster.Transport) cluster.Transport {
+			in := replt.NewShardInjector(shard, tr, replt.ShardFaults{}, rand.New(rand.NewSource(3)))
+			injectors[shard] = in
+			return in
+		})
+	ctx := context.Background()
+
+	// Find rows owned by two different shards.
+	rowFor := func(dead string, want bool) map[string]string {
+		for i := 0; ; i++ {
+			row := map[string]string{"C": fmt.Sprintf("c%d", i), "T": "t"}
+			owner, err := tc.rt.Placement().Owner("CT", row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (owner == dead) == want {
+				return row
+			}
+		}
+	}
+	const dead = "shard2"
+	injectors[dead].Kill()
+
+	err := tc.rt.Insert(ctx, "CT", rowFor(dead, true))
+	var se *cluster.ShardError
+	if !errors.As(err, &se) || se.Shard != dead {
+		t.Fatalf("insert to dead shard: got %v, want ShardError{%s}", err, dead)
+	}
+	if indep.Rejected(err) {
+		t.Fatal("an unreachable shard must not read as a constraint rejection")
+	}
+	if err := tc.rt.Insert(ctx, "CT", rowFor(dead, false)); err != nil {
+		t.Fatalf("insert to live shard: %v", err)
+	}
+
+	tc.rt.CheckHealth(ctx)
+	for _, h := range tc.rt.Health() {
+		if h.Name == dead && h.Healthy {
+			t.Errorf("health table still thinks %s is up", dead)
+		}
+		if h.Name != dead && !h.Healthy {
+			t.Errorf("health table thinks %s is down", h.Name)
+		}
+	}
+
+	// A gather that needs the dead shard fails as a ShardError too...
+	if _, err := tc.rt.Window(ctx, indep.WindowQuery{Attrs: []string{"C", "T"}}); !errors.As(err, &se) {
+		t.Fatalf("window over dead shard: got %v, want ShardError", err)
+	}
+	// ...and the shard coming back heals everything with no intervention.
+	injectors[dead].Revive()
+	if _, err := tc.rt.Window(ctx, indep.WindowQuery{Attrs: []string{"C", "T"}}); err != nil {
+		t.Fatalf("window after revive: %v", err)
+	}
+	if tc.rt.CheckHealth(ctx); !tc.rt.Health()[1].Healthy {
+		t.Error("health table did not recover after revive")
+	}
+}
+
+// TestClusterSmokeFaulty is the CI cluster-smoke: a fixed-seed 3-shard
+// cluster driven through flaky transports (disconnects and duplicated
+// forwards on every shard) with one shard killed -9 mid-run, retrying
+// whole payloads until they land. Afterward the gathered state and the
+// window panel must match the single-node oracle bit for bit.
+func TestClusterSmokeFaulty(t *testing.T) {
+	sch := runningExample(t)
+	rng := rand.New(rand.NewSource(42))
+	injectors := make(map[string]*replt.ShardInjector)
+	tc := newTestCluster(t, sch, 3, cluster.Options{Retries: 2, Backoff: 1},
+		func(shard string, tr cluster.Transport) cluster.Transport {
+			in := replt.NewShardInjector(shard, tr,
+				replt.ShardFaults{Disconnect: 0.25, Duplicate: 0.25},
+				rand.New(rand.NewSource(int64(len(shard)*1000+int(shard[len(shard)-1])))))
+			injectors[shard] = in
+			return in
+		})
+	oracle, err := sch.OpenConcurrentStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// deliver retries a payload until every shard has applied it — the
+	// client contract: partial-failure reports plus idempotent re-applies
+	// mean blind whole-payload retries converge.
+	deliver := func(payload []byte) *indep.BatchReport {
+		t.Helper()
+		for attempt := 0; attempt < 100; attempt++ {
+			rep, err := tc.rt.Batch(ctx, payload)
+			if err == nil {
+				return rep
+			}
+			var se *cluster.ShardError
+			if !errors.As(err, &se) {
+				t.Fatalf("non-shard batch error: %v", err)
+			}
+		}
+		t.Fatal("payload failed to land in 100 attempts")
+		return nil
+	}
+
+	const rounds, killAt, reviveAt = 12, 4, 8
+	for round := 0; round < rounds; round++ {
+		if round == killAt {
+			injectors["shard1"].Kill() // kill -9 mid-run; retries span the outage
+		}
+		if round == reviveAt {
+			injectors["shard1"].Revive()
+		}
+		ops := clusterOps(rng, 60)
+		var dels []indep.BatchOp
+		for _, op := range ops {
+			// Under at-least-once delivery only payloads whose re-application
+			// is a fixpoint converge. CS and CHR inserts can never be
+			// rejected (no FD can fire on them in this workload), so deleting
+			// their rows is idempotent; a CT delete could unshield a
+			// conflicting CT insert in the same payload and flip its outcome
+			// on redelivery — that is the documented client contract, not a
+			// router defect, so the smoke stays inside it.
+			if op.Rel != "CT" && rng.Intn(10) == 0 {
+				dels = append(dels, op)
+			}
+		}
+		payload := encodePayload(t, sch, ops, dels)
+		want, err := oracle.ApplyBinBatchPartial(ctx, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round >= killAt && round < reviveAt {
+			// The dead shard owns some ranges: a payload touching them
+			// cannot fully land; park it and verify the failure shape.
+			rep, err := tc.rt.Batch(ctx, payload)
+			if err == nil {
+				// Every op happened to land on live shards; nothing to park.
+				if msg := reportsEqual(rep, want); msg != "" {
+					t.Fatalf("round %d (outage, all live): %s", round, msg)
+				}
+				continue
+			}
+			if !strings.Contains(err.Error(), "shard") {
+				t.Fatalf("round %d: outage error does not name a shard: %v", round, err)
+			}
+			// Re-deliver the same payload after revival rounds do — here we
+			// just retry immediately after reviving temporarily to keep the
+			// oracle in lockstep (the real client would retry later).
+			injectors["shard1"].Revive()
+			rep = deliver(payload)
+			injectors["shard1"].Kill()
+			if msg := reportsEqual(rep, want); msg != "" {
+				t.Fatalf("round %d (after retry): %s", round, msg)
+			}
+			continue
+		}
+		rep := deliver(payload)
+		if msg := reportsEqual(rep, want); msg != "" {
+			t.Fatalf("round %d: %s", round, msg)
+		}
+	}
+
+	tc.checkOracle(t, oracle)
+
+	var faults replt.ShardInjectorStats
+	for _, in := range injectors {
+		s := in.Stats()
+		faults.Disconnects += s.Disconnects
+		faults.Duplicates += s.Duplicates
+		faults.Killed += s.Killed
+	}
+	if faults.Disconnects == 0 || faults.Duplicates == 0 || faults.Killed == 0 {
+		t.Fatalf("fault schedule did not exercise every class: %+v", faults)
+	}
+	t.Logf("faults delivered: %+v", faults)
+}
+
+// TestRouterRejectedIndexRemap pins index reassembly: rejections reported
+// by different shards come back under the client's op indices, sorted.
+func TestRouterRejectedIndexRemap(t *testing.T) {
+	sch := runningExample(t)
+	tc := newTestCluster(t, sch, 3, cluster.Options{}, nil)
+	ctx := context.Background()
+
+	// Seed conflicting T values for many C's, then send a batch where every
+	// op re-asserts a different T: every op must be rejected, across
+	// whatever shards the C's hash to.
+	var seed, clash []indep.BatchOp
+	for i := 0; i < 24; i++ {
+		c := fmt.Sprintf("c%d", i)
+		seed = append(seed, indep.BatchOp{Rel: "CT", Row: map[string]string{"C": c, "T": "t-good"}})
+		clash = append(clash, indep.BatchOp{Rel: "CT", Row: map[string]string{"C": c, "T": "t-bad"}})
+	}
+	if _, err := tc.rt.Batch(ctx, encodePayload(t, sch, seed, nil)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tc.rt.Batch(ctx, encodePayload(t, sch, clash, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 24 || rep.Processed != 24 || rep.Applied != 0 || len(rep.Rejected) != 24 {
+		t.Fatalf("report = %+v, want 24 ops all rejected", rep)
+	}
+	for i, o := range rep.Rejected {
+		if o.Index != i {
+			t.Fatalf("rejection %d carries index %d; remap or sort is broken", i, o.Index)
+		}
+		if o.Code != "rejected" {
+			t.Fatalf("rejection %d code = %q", i, o.Code)
+		}
+	}
+}
+
+// FuzzClusterRoute feeds arbitrary payloads to the router and demands it
+// either rejects them exactly like a single node's decoder or applies them
+// to exactly a single node's state.
+func FuzzClusterRoute(f *testing.F) {
+	sch, err := indep.Parse("CT(C,T); CS(C,S); CHR(C,H,R)", "C -> T; C H -> R")
+	if err != nil {
+		f.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	ops := clusterOps(rng, 12)
+	enc := indep.NewBinBatchEncoder(sch)
+	for _, op := range ops {
+		if err := enc.Add(op.Rel, op.Row); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := enc.Delete(ops[0].Rel, ops[0].Row); err != nil {
+		f.Fatal(err)
+	}
+	valid := enc.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("IBW1garbage"))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		tc := newTestCluster(t, sch, 3, cluster.Options{}, nil)
+		oracle, err := sch.OpenConcurrentStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		want, wantErr := oracle.ApplyBinBatchPartial(ctx, payload)
+		got, gotErr := tc.rt.Batch(ctx, payload)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("oracle err %v, router err %v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if msg := reportsEqual(got, want); msg != "" {
+			t.Fatal(msg)
+		}
+		if diffs := indep.DiffDatabasesByName(oracle.Snapshot(), tc.assembled(t)); diffs != nil {
+			t.Fatalf("state diverged: %v", diffs)
+		}
+	})
+}

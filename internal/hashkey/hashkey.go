@@ -14,6 +14,8 @@
 // quality, only performance does.
 package hashkey
 
+import "math/bits"
+
 // Init is the accumulator's starting value. Seeding with a non-zero
 // constant distinguishes the empty vector from a vector of zeros.
 const Init uint64 = 0x9e3779b97f4a7c15
@@ -54,4 +56,49 @@ func Ints(vs []int) uint64 {
 		h = Mix(h, uint64(v))
 	}
 	return h
+}
+
+// Str folds a string into the accumulator, eight bytes at a time, with the
+// length mixed in so prefixes don't collide trivially ("ab","c" vs "a","bc"
+// hash differently when each element is folded with Str). It allocates
+// nothing, so routing tiers may hash request values freely.
+func Str(h uint64, s string) uint64 {
+	h = Mix(h, uint64(len(s)))
+	for len(s) >= 8 {
+		var x uint64
+		for i := 0; i < 8; i++ {
+			x |= uint64(s[i]) << (8 * i)
+		}
+		h = Mix(h, x)
+		s = s[8:]
+	}
+	if len(s) > 0 {
+		var x uint64
+		for i := 0; i < len(s); i++ {
+			x |= uint64(s[i]) << (8 * i)
+		}
+		h = Mix(h, x)
+	}
+	return h
+}
+
+// Strs hashes a vector of strings — the content hash a cluster router uses
+// to place a tuple by its key-attribute values (value names, not interned
+// ids, so every node computes the same hash).
+func Strs(vs []string) uint64 {
+	h := Init
+	for _, v := range vs {
+		h = Str(h, v)
+	}
+	return h
+}
+
+// Range maps a hash onto one of n equal-width ranges of the 64-bit hash
+// space, for hash-range partitioning: range i covers [i*2^64/n, (i+1)*2^64/n).
+// It is the fixed-point multiply-shift (Lemire's fast range reduction), so
+// the mapping is order-preserving in h and needs no division. n must be
+// positive; Range(h, 1) is always 0.
+func Range(h uint64, n int) int {
+	hi, _ := bits.Mul64(h, uint64(n))
+	return int(hi)
 }

@@ -52,3 +52,63 @@ func TestZeroAllocs(t *testing.T) {
 		t.Fatalf("Int64s allocates %v per run", n)
 	}
 }
+
+func TestStrDistinguishesBoundaries(t *testing.T) {
+	if Strs([]string{"ab", "c"}) == Strs([]string{"a", "bc"}) {
+		t.Error("element boundaries must change the hash")
+	}
+	if Strs([]string{"x"}) == Strs([]string{"x", ""}) {
+		t.Error("a trailing empty string must change the hash")
+	}
+	if Strs([]string{"hello, world!!"}) != Strs([]string{"hello, world!!"}) {
+		t.Error("string hashing is not deterministic")
+	}
+	long := Str(Init, "abcdefghijklmnop") // two full 8-byte blocks
+	if long == Str(Init, "abcdefghijklmnoq") {
+		t.Error("last byte of a block-aligned string must change the hash")
+	}
+}
+
+func TestRangePartitioning(t *testing.T) {
+	if got := Range(0, 4); got != 0 {
+		t.Fatalf("Range(0,4) = %d, want 0", got)
+	}
+	if got := Range(^uint64(0), 4); got != 3 {
+		t.Fatalf("Range(max,4) = %d, want 3", got)
+	}
+	for h := uint64(0); h < 1<<16; h += 97 {
+		if Range(h<<48, 1) != 0 {
+			t.Fatal("Range(_,1) must be 0")
+		}
+	}
+	// Order-preserving: a larger hash never lands in a smaller range.
+	prev := 0
+	for i := 0; i < 64; i++ {
+		r := Range(uint64(i)<<58, 7)
+		if r < prev || r > 6 {
+			t.Fatalf("Range not monotone in-bounds: %d then %d", prev, r)
+		}
+		prev = r
+	}
+	// Roughly even split over string hashes.
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[Range(Strs([]string{"k", string(rune('a' + i%26)), itoa(i)}), 8)]++
+	}
+	for p, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("partition %d got %d of 8000 (want ~1000)", p, c)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; i > 0; i /= 10 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+	}
+	return string(b)
+}

@@ -77,6 +77,22 @@ func (ar *AcceptedRun) ExtendTuple(st *relation.State, t relation.Tuple) (relati
 	return out, determined
 }
 
+// Consulted returns the schemes whose instances ExtendTuple may read: the
+// tags of every row of every available attribute's minimal calculation.
+// Valuations anchor on the inserted tuple itself, so R_l is consulted only
+// if one of its own tableaux references it. The result is sorted and
+// duplicate-free; a scatter-gather evaluator uses it to fetch exactly the
+// relations a remote window evaluation needs.
+func (ar *AcceptedRun) Consulted() []int {
+	var seen attrset.Set
+	for _, t := range ar.tAttr {
+		for _, row := range t {
+			seen.Add(row.Tag)
+		}
+	}
+	return seen.Attrs()
+}
+
 // Complete adds to every relation of the state the projection of the
 // extension of each tuple of r_l, restricted to determined attributes'
 // schemes... More precisely, per the paper's induction: for a dangling

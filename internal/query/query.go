@@ -130,6 +130,29 @@ type Plan struct {
 	local []bool
 }
 
+// Consults returns every scheme an evaluation of the plan may read: the
+// contributing schemes plus, for each non-local contributor, the schemes its
+// extension tableaux take valuations against (ExtendTuple reads them for all
+// available attributes, not just X). Chase plans return nil — the chase
+// always consults the whole state. The result is sorted and duplicate-free;
+// it is the gather set a cluster router must fetch before evaluating the
+// window away from the data.
+func (p *Plan) Consults() []int {
+	if !p.Fast {
+		return nil
+	}
+	var seen attrset.Set
+	for i, l := range p.Schemes {
+		seen.Add(l)
+		if !p.local[i] {
+			for _, c := range p.runs[i].Consulted() {
+				seen.Add(c)
+			}
+		}
+	}
+	return seen.Attrs()
+}
+
 // run returns scheme l's extension data, building it on first use. For an
 // independent schema The Loop accepts every scheme, so a rejection here is
 // impossible by Theorem 2; it is reported as an error rather than a panic

@@ -225,6 +225,36 @@ func (s *Schema) windowEvaluator() (*query.Evaluator, error) {
 	return s.qev, nil
 }
 
+// WindowConsults reports which relations an evaluation of the window [attrs]
+// may read. On the independent fast path that is the contributing relations
+// plus every relation their extension tableaux take valuations against — the
+// exact set a cluster router must gather from shards before it can evaluate
+// the window away from the data, because Theorem 5's extensions consult
+// those relations and no others. For a non-independent schema it returns
+// (nil, false, nil): the fallback chase consults the whole state, so a
+// router can only proxy the query to a node holding everything.
+func (s *Schema) WindowConsults(attrs ...string) (rels []string, fast bool, err error) {
+	x, err := s.attrSet(attrs)
+	if err != nil {
+		return nil, false, err
+	}
+	ev, err := s.windowEvaluator()
+	if err != nil {
+		return nil, false, err
+	}
+	p, _, err := ev.Plan(x)
+	if err != nil {
+		return nil, false, err
+	}
+	if !p.Fast {
+		return nil, false, nil
+	}
+	for _, l := range p.Consults() {
+		rels = append(rels, s.s.Name(l))
+	}
+	return rels, true, nil
+}
+
 // finishWindow applies selection, projection, limit, and name rendering to
 // a raw window instance, using the dictionary of the state the window was
 // evaluated against.

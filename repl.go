@@ -78,6 +78,50 @@ func (ds *DurableStore) ReplRead(pos wal.Position, max int) (ReplChunk, error) {
 // reached this value reflects every write acknowledged before the call.
 func (ds *DurableStore) ReplPosition() wal.Position { return ds.log.Flushed() }
 
+// DiffDatabasesByName compares two database states by value *names* rather
+// than interned ids: it returns a description of every tuple present in
+// one and not the other (nil means the visible states agree). Replication
+// uses the stricter DiffDatabases — a follower replays the primary's exact
+// intern stream, so even the ids must match — but a cluster's gathered
+// state interns values in whatever order fragments arrive, and only the
+// named contents are contractually equal to a single node's.
+func DiffDatabasesByName(a, b *Database) []string {
+	var diffs []string
+	if len(a.st.Insts) != len(b.st.Insts) {
+		return []string{fmt.Sprintf("relation counts differ: %d vs %d", len(a.st.Insts), len(b.st.Insts))}
+	}
+	render := func(db *Database, t relation.Tuple) string {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = db.st.Dict.Name(v)
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	}
+	for i := range a.st.Insts {
+		name := a.schema.s.Name(i)
+		am := make(map[string]bool, a.st.Insts[i].Len())
+		for _, t := range a.st.Insts[i].Rows() {
+			am[render(a, t)] = true
+		}
+		bm := make(map[string]bool, b.st.Insts[i].Len())
+		for _, t := range b.st.Insts[i].Rows() {
+			bm[render(b, t)] = true
+		}
+		for k := range am {
+			if !bm[k] {
+				diffs = append(diffs, fmt.Sprintf("%s: %s only in first", name, k))
+			}
+		}
+		for k := range bm {
+			if !am[k] {
+				diffs = append(diffs, fmt.Sprintf("%s: %s only in second", name, k))
+			}
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}
+
 // tupleKey renders a tuple as a comparable map key (raw values, fixed
 // width), for the set diffs the oracle and the follower's re-sync share.
 func tupleKey(t relation.Tuple) string {
